@@ -1,0 +1,133 @@
+"""Shared benchmark machinery.
+
+Every figure of the paper's evaluation gets one module; each (simulator,
+size) pair is a pytest-benchmark case, so the benchmark table *is* the
+figure's runtime series.  Fidelity and other per-point observations are
+attached as ``extra_info`` and appended as JSON lines under
+``benchmarks/_results/`` (pretty-print them with ``python benchmarks/report.py``).
+
+All simulators are used as *samplers* building output distributions from
+SHOTS = 5000 shots, like the paper's §VI methodology (Fig. 1 uses 10000).
+Per-simulator width caps play the role of the paper's 30-minute timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import Distribution
+from repro.apps.hwea import HWEA
+from repro.apps.qaoa import near_clifford_qaoa
+from repro.apps.qec import near_clifford_phase_code
+from repro.circuits.random import random_clifford_circuit
+from repro.core import SuperSim
+from repro.extended_stabilizer import ExtendedStabilizerSimulator
+from repro.mps import MPSSimulator
+from repro.stabilizer import StabilizerSimulator
+from repro.statevector import StatevectorSimulator
+
+SHOTS = 5000
+RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
+
+
+_OPENED_THIS_SESSION: set[str] = set()
+
+
+def record(figure: str, **row) -> None:
+    """Append a data point; the first write of a session truncates the file,
+    so partial benchmark runs refresh only their own figures."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    mode = "a" if figure in _OPENED_THIS_SESSION else "w"
+    _OPENED_THIS_SESSION.add(figure)
+    with open(RESULTS_DIR / f"{figure}.jsonl", mode) as fh:
+        fh.write(json.dumps(row) + "\n")
+
+
+# -- deterministic workloads (cached so every simulator sees the same circuit)
+
+
+@lru_cache(maxsize=None)
+def hwea_workload(n: int, rounds: int = 5, num_t: int = 1, seed: int = 0):
+    return HWEA(n, rounds).near_clifford_instance(num_t=num_t, rng=seed).measure_all()
+
+
+@lru_cache(maxsize=None)
+def qaoa_workload(n: int, seed: int = 0):
+    return near_clifford_qaoa(n, rounds=1, num_t=1, rng=seed).measure_all()
+
+
+@lru_cache(maxsize=None)
+def repcode_workload(distance: int, seed: int = 0):
+    return near_clifford_phase_code(distance, num_t=1, rng=seed)
+
+
+@lru_cache(maxsize=None)
+def clifford_workload(n: int, seed: int = 0):
+    return random_clifford_circuit(n, depth=n, rng=seed).measure_all()
+
+
+# -- simulator tasks ---------------------------------------------------------
+# each returns (n, 2) single-qubit marginal probabilities, the paper's
+# dense-distribution accuracy object, so results are comparable across
+# backends at any width
+
+
+def run_statevector(circuit, shots=SHOTS) -> np.ndarray:
+    dist = StatevectorSimulator(max_qubits=24).sample(circuit, shots, rng=0)
+    return dist.single_bit_marginals()
+
+
+def run_stabilizer(circuit, shots=SHOTS) -> np.ndarray:
+    dist = StabilizerSimulator().sample(circuit, shots, rng=0)
+    return dist.single_bit_marginals()
+
+
+def run_mps(circuit, shots=SHOTS) -> np.ndarray:
+    dist = MPSSimulator().sample(circuit, shots, rng=0)
+    return dist.single_bit_marginals()
+
+
+def run_extended_stabilizer(circuit, shots=SHOTS) -> np.ndarray:
+    sim = ExtendedStabilizerSimulator()
+    dist = sim.sample(circuit, shots, rng=0)
+    return dist.single_bit_marginals()
+
+
+def run_supersim(circuit, shots=SHOTS) -> np.ndarray:
+    sim = SuperSim(shots=shots, rng=0)
+    return sim.single_qubit_marginals(circuit)
+
+
+TASKS = {
+    "supersim": run_supersim,
+    "statevector": run_statevector,
+    "mps": run_mps,
+    "ext_stabilizer": run_extended_stabilizer,
+    "stabilizer": run_stabilizer,
+}
+
+
+def reference_marginals(circuit) -> np.ndarray | None:
+    """Exact per-qubit marginals where feasible (SV small, SuperSim exact)."""
+    if circuit.n_qubits <= 16:
+        return (
+            StatevectorSimulator()
+            .probabilities(circuit)
+            .single_bit_marginals()
+        )
+    try:
+        return SuperSim().single_qubit_marginals(circuit)
+    except Exception:
+        return None
+
+
+def marginal_fidelity(a: np.ndarray, b: np.ndarray) -> float:
+    fids = (np.sqrt(np.clip(a, 0, None) * np.clip(b, 0, None)).sum(axis=1)) ** 2
+    return float(fids.mean())
+
+

@@ -1,0 +1,58 @@
+"""Ablation (paper §IX): Clifford-specific cutting optimizations.
+
+Three SuperSim configurations on the HWEA workload, sampled fragments:
+
+* ``baseline``  — generic cutting: full shots everywhere, no pruning;
+* ``prune``     — zero-observable pruning of recombination terms;
+* ``full``      — pruning + few-shot Clifford variants with expectation
+  snapping (the "fewer requisite shots" optimization).
+
+Expected: ``full`` needs ~60x fewer Clifford-fragment shots at equal or
+better fidelity, and pruning skips a large fraction of the 4^k terms.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    SHOTS,
+    hwea_workload,
+    marginal_fidelity,
+    record,
+    reference_marginals,
+)
+from repro.core import SuperSim
+
+WIDTH = 20
+
+CONFIGS = {
+    "baseline": dict(shots=SHOTS, prune_zeros=False),
+    "prune": dict(shots=SHOTS, prune_zeros=True),
+    "full": dict(
+        shots=SHOTS,
+        clifford_shots=64,
+        snap_clifford=True,
+        prune_zeros=True,
+    ),
+}
+
+
+@pytest.mark.parametrize("config", list(CONFIGS))
+def test_clifford_optimizations(benchmark, config):
+    circuit = hwea_workload(WIDTH)
+    sim = SuperSim(rng=0, **CONFIGS[config])
+
+    def task():
+        return sim.single_qubit_marginals(circuit)
+
+    marginals = benchmark.pedantic(task, rounds=1, iterations=1)
+    reference = reference_marginals(circuit)
+    fidelity = marginal_fidelity(marginals, reference)
+    benchmark.extra_info["fidelity"] = fidelity
+    record(
+        "ablation_clifford_opts",
+        config=config,
+        n=WIDTH,
+        seconds=benchmark.stats["mean"],
+        fidelity=fidelity,
+    )
+    assert fidelity > 0.97, (config, fidelity)

@@ -1,0 +1,59 @@
+"""Clifford generative modeling (paper §IV-C).
+
+Trains a stabilizer Born machine to match a target distribution with cheap
+Clifford simulation, then refines one parameter off the Clifford grid —
+scored through SuperSim — to reach statistics no stabilizer model can
+express.  This is the paper's third application: generative models that are
+"primarily Clifford, with non-Clifford gates to enable gradient descent".
+
+Run:  python examples/generative_modeling.py
+"""
+
+import numpy as np
+
+from repro.analysis import Distribution, total_variation_distance
+from repro.apps.generative import (
+    BornMachine,
+    model_distribution,
+    refine_near_clifford,
+    train_clifford,
+)
+from repro.core import SuperSim
+
+
+def main() -> None:
+    # target: correlated pair statistics with a non-stabilizer bias
+    target = Distribution(2, {0b00: 0.6, 0b11: 0.3, 0b01: 0.1})
+    model = BornMachine(2, 2)
+    print(f"target: {target}")
+    print(f"model: {model.n_qubits} qubits, {model.layers} layers, "
+          f"{model.num_parameters} parameters")
+
+    # --- stage 1: Clifford training (stabilizer-simulable) -------------------
+    steps, clifford_loss = train_clifford(
+        model, target, iterations=3, rng=0, restarts=4
+    )
+    print(f"\nClifford training:    TVD = {clifford_loss:.4f}")
+    print("(stabilizer Born machines only reach probabilities k/2^m — the "
+          "0.6/0.3/0.1 target is off that lattice)")
+
+    # --- stage 2: near-Clifford refinement through SuperSim ------------------
+    params, refined_loss = refine_near_clifford(
+        model, steps, target, SuperSim(),
+        deltas=(-0.3, -0.2, -0.1, 0.1, 0.2, 0.3),
+    )
+    circuit = model.circuit(params)
+    print(f"near-Clifford refine: TVD = {refined_loss:.4f} "
+          f"({circuit.num_non_clifford} non-Clifford gate)")
+
+    final = model_distribution(circuit, SuperSim())
+    print("\nmodel vs target probabilities:")
+    for outcome in (0b00, 0b01, 0b10, 0b11):
+        print(f"  |{outcome:02b}>  model {final[outcome]:.3f}   "
+              f"target {target[outcome]:.3f}")
+    improvement = clifford_loss - refined_loss
+    print(f"\none non-Clifford gate improved TVD by {improvement:.4f}")
+
+
+if __name__ == "__main__":
+    main()

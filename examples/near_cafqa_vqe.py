@@ -1,0 +1,62 @@
+"""Near-CAFQA VQE initialisation (paper §IV-B).
+
+1. CAFQA: search the *Clifford points* of a hardware-efficient ansatz for
+   the lowest energy of the H2 molecular Hamiltonian — every candidate is
+   scored with cheap stabilizer simulation.
+2. Near-CAFQA: perturb one ansatz parameter away from its Clifford value,
+   making exactly one gate non-Clifford, and score each candidate through
+   SuperSim (which cuts that single gate out).  The richer near-Clifford
+   space recovers most of the remaining correlation energy — the motivating
+   use case for Clifford-based circuit cutting.
+
+Run:  python examples/near_cafqa_vqe.py
+"""
+
+import numpy as np
+
+from repro.apps.hwea import HWEA
+from repro.apps.vqe import cafqa_search, energy, h2_hamiltonian
+from repro.core import SuperSim
+
+
+def main() -> None:
+    hamiltonian = h2_hamiltonian()
+    matrix = sum(c * p.to_matrix() for c, p in hamiltonian.paulis())
+    exact_ground = float(np.linalg.eigvalsh(matrix)[0])
+    print(f"H2 exact ground energy:     {exact_ground:+.6f} Ha")
+
+    # --- stage 1: CAFQA over Clifford points --------------------------------
+    ansatz = HWEA(2, 2)
+    steps, e_clifford = cafqa_search(
+        ansatz, hamiltonian, iterations=4, rng=11, restarts=4
+    )
+    print(f"CAFQA best Clifford energy: {e_clifford:+.6f} Ha "
+          f"(gap {e_clifford - exact_ground:+.6f})")
+
+    # --- stage 2: near-CAFQA — one parameter leaves the Clifford grid -------
+    base_params = steps * 0.5
+    supersim = SuperSim()
+    best = (e_clifford, None, 0.0)
+    for index in range(ansatz.num_parameters):
+        for delta in (-0.25, -0.15, -0.08, 0.08, 0.15, 0.25):
+            params = base_params.copy()
+            params[index] += delta
+            circuit = ansatz.circuit(params)
+            assert circuit.num_non_clifford <= 1
+            e = energy(circuit, hamiltonian, supersim)
+            if e < best[0]:
+                best = (e, index, delta)
+    e_near, index, delta = best
+    if index is None:
+        print("near-CAFQA: no single-parameter perturbation improved the energy")
+        return
+    print(f"near-CAFQA energy:          {e_near:+.6f} Ha "
+          f"(parameter {index} shifted by {delta:+.2f} turns, "
+          f"gap {e_near - exact_ground:+.6f})")
+    recovered = (e_near - e_clifford) / (exact_ground - e_clifford)
+    print(f"one non-Clifford gate recovered {100 * recovered:.1f}% of the "
+          "remaining correlation energy")
+
+
+if __name__ == "__main__":
+    main()

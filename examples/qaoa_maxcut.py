@@ -1,0 +1,72 @@
+"""QAOA MaxCut on the Sherrington-Kirkpatrick model (paper §IV-B, Fig. 6).
+
+The SK QAOA ansatz needs all-to-all connectivity, which makes it expensive
+for MPS simulation and (past ~25 qubits) impossible for statevectors, while
+SuperSim only pays for the single injected T gate.  This example:
+
+1. validates SuperSim against the statevector simulator at small width, and
+2. scales the same near-Clifford QAOA circuit to widths no statevector can
+   touch, reporting runtime and the expected cut value computed from
+   SuperSim's reconstructed ZZ correlations.
+
+Run:  python examples/qaoa_maxcut.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import hellinger_fidelity
+from repro.apps.qaoa import expected_cut, near_clifford_qaoa, sk_model
+from repro.apps.vqe import pauli_expectation
+from repro.core import SuperSim
+from repro.paulis import PauliString
+from repro.statevector import StatevectorSimulator
+
+
+def expected_cut_from_correlations(n, couplings, circuit, sim) -> float:
+    """E[cut] = sum_ij w_ij (1 - <Z_i Z_j>)/2 via narrow reconstructions."""
+    total = 0.0
+    for (i, j), w in couplings.items():
+        zz = pauli_expectation(circuit, PauliString.from_label(
+            "".join("Z" if q in (i, j) else "I" for q in range(n))), sim)
+        total += w * (1 - zz) / 2
+    return total
+
+
+def main() -> None:
+    sim = SuperSim()
+
+    # --- validation at small width ------------------------------------------
+    n = 8
+    circuit = near_clifford_qaoa(n, rounds=1, num_t=1, rng=2)
+    sv = StatevectorSimulator()
+    reference = sv.probabilities(circuit)
+    reconstructed = sim.run(circuit).distribution
+    fidelity = hellinger_fidelity(reference, reconstructed)
+    couplings = sk_model(n, rng=2)
+    print(f"n={n}: Hellinger fidelity vs statevector = {fidelity:.8f}")
+    print(f"      E[cut] from reconstruction = "
+          f"{expected_cut(couplings, reconstructed):+.4f} "
+          f"(exact {expected_cut(couplings, reference):+.4f})")
+
+    # --- scaling beyond statevector reach ------------------------------------
+    print(f"\n{'n':>4} {'gates':>6} {'cuts':>5} {'runtime':>9}   E[cut]")
+    for n in (8, 16, 24, 32, 40):
+        rng = np.random.default_rng(n)
+        couplings = sk_model(n, rng)
+        circuit = near_clifford_qaoa(n, rounds=1, num_t=1, rng=rng)
+        start = time.perf_counter()
+        result = sim.run(circuit, keep_qubits=[0])  # warm the fragments
+        elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        value = expected_cut_from_correlations(n, couplings, circuit, sim)
+        cut_time = time.perf_counter() - start
+        print(f"{n:>4} {len(circuit):>6} {result.num_cuts:>5} "
+              f"{elapsed + cut_time:8.2f}s  {value:+.3f}")
+    print("\n(statevector simulation of the 40-qubit instance would need "
+          "16 TiB of memory)")
+
+
+if __name__ == "__main__":
+    main()

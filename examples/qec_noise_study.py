@@ -1,0 +1,110 @@
+"""QEC noise study with the phase-flip repetition code (paper §IV-A).
+
+Part 1 — stabilizer-only: sweep the physical phase-flip rate and code
+distance, estimating logical error rates with Pauli-frame sampling (the
+kind of study Stim-style simulators support).
+
+Part 2 — beyond Pauli noise: inject a *coherent* over-rotation (a
+non-Clifford ZPow) into one round of the code — exactly the error family
+stabilizer simulation cannot represent (paper §IV-A cites a 10-order-of-
+magnitude underestimate from Pauli approximations) — and simulate the
+circuit with SuperSim, comparing the syndrome distribution to the Pauli
+(incoherent) approximation of the same channel.
+
+Run:  python examples/qec_noise_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import total_variation_distance
+from repro.apps.qec import logical_phase_error_rate, phase_flip_repetition_code
+from repro.circuits import Circuit, gates
+from repro.core import SuperSim
+from repro.stabilizer import FrameSampler, NoiseModel, PauliChannel
+
+
+def pauli_noise_sweep() -> None:
+    print("logical phase-flip error rate (Pauli-frame sampling, 20k shots)")
+    print(f"{'p_phys':>8} " + " ".join(f"d={d:<4}" for d in (3, 5, 7)))
+    for p in (0.002, 0.01, 0.05, 0.15):
+        rates = [
+            logical_phase_error_rate(d, p, shots=20000, rng=0) for d in (3, 5, 7)
+        ]
+        print(f"{p:8.3f} " + " ".join(f"{r:6.4f}" for r in rates))
+    print("(larger distance suppresses logical errors below threshold)\n")
+
+
+def coherent_error_study() -> None:
+    """Coherent over-rotations accumulate *quadratically* in amplitude.
+
+    ``k`` consecutive Z over-rotations by angle ``a`` flip a |+> qubit with
+    probability sin^2(k a pi / 2) ~ (k a)^2, while the Pauli-twirled
+    approximation — the only thing a stabilizer simulator can express —
+    predicts ~ k * sin^2(a pi / 2) ~ k a^2.  Stabilizer-only QEC studies
+    therefore underestimate coherent noise by a factor ~ k (the effect
+    behind the 10-orders-of-magnitude example the paper cites from [9]).
+    SuperSim simulates the coherent circuit exactly: the rotations sit on
+    one wire, so two cuts isolate them all.
+    """
+    distance = 3
+    base = phase_flip_repetition_code(distance)
+    angle = 0.08   # Z over-rotation exponent per "gate" (turns of pi)
+    repeats = 4
+    data_qubit = 1
+    prep_len = distance  # the H-prep layer
+
+    coherent = Circuit(base.n_qubits, base.ops[:prep_len])
+    for _ in range(repeats):
+        coherent.append(gates.ZPow(angle), data_qubit)
+    coherent.extend(base.ops[prep_len:])
+    coherent.measure_all()
+    supersim_dist = SuperSim().run(coherent).distribution
+
+    # Pauli twirl of each rotation: Z flip with p = sin^2(pi*angle/2)
+    p_twirl = float(np.sin(np.pi * angle / 2) ** 2)
+    twirled = Circuit(base.n_qubits, base.ops[:prep_len])
+    twirled.extend(base.ops[prep_len:])
+    twirled.measure_all()
+    frame = FrameSampler(
+        twirled, _repeated_site_noise(prep_len - 1, data_qubit, p_twirl, repeats)
+    )
+    pauli_dist = frame.sample(200000, rng=1)
+
+    def flip_probability(dist):
+        # the injected error flips X-basis data bit `data_qubit`
+        return sum(p for outcome, p in dist if dist.bits(outcome)[data_qubit])
+
+    coherent_flip = flip_probability(supersim_dist)
+    twirled_flip = flip_probability(pauli_dist)
+    predicted_coherent = float(np.sin(repeats * angle * np.pi / 2) ** 2)
+    tvd = total_variation_distance(supersim_dist, pauli_dist)
+    print("coherent over-rotation vs Pauli-twirled approximation")
+    print(f"  {repeats} x ZPow({angle}) on data qubit {data_qubit} "
+          f"(per-gate twirl p = {p_twirl:.4f})")
+    print(f"  flip probability — coherent (SuperSim): {coherent_flip:.4f} "
+          f"(analytic {predicted_coherent:.4f})")
+    print(f"  flip probability — Pauli twirl (frames): {twirled_flip:.4f}")
+    print(f"  underestimation factor: {coherent_flip / twirled_flip:.2f}x; "
+          f"syndrome-distribution TVD: {tvd:.4f}")
+    print("(stabilizer-only simulation cannot represent the coherent build-up)")
+
+
+def _repeated_site_noise(
+    after_index: int, qubit: int, p: float, repeats: int
+) -> NoiseModel:
+    """A noise model with ``repeats`` phase-flip sites at one location."""
+    model = NoiseModel()
+    channel = PauliChannel.phase_flip(p)
+    model.locations = lambda circuit: [  # type: ignore[method-assign]
+        (after_index, channel, (qubit,)) for _ in range(repeats)
+    ]
+    return model
+
+
+def main() -> None:
+    pauli_noise_sweep()
+    coherent_error_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Reproduction of "Clifford-based Circuit Cutting for Quantum Simulation".
+
+The top-level package re-exports the most commonly used pieces; see the
+subpackages for the full surface:
+
+* :mod:`repro.circuits` — circuit IR and gate set
+* :mod:`repro.stabilizer` — tableau (Stim-style) simulation
+* :mod:`repro.statevector` — exact dense simulation
+* :mod:`repro.mps` — matrix-product-state simulation
+* :mod:`repro.extended_stabilizer` — Clifford+T low-rank stabilizer simulation
+* :mod:`repro.core` — the SuperSim circuit-cutting framework
+* :mod:`repro.apps` — benchmark applications (HWEA, QAOA, QEC, ...)
+* :mod:`repro.analysis` — distributions and fidelity metrics
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,30 @@
+"""Shared dense tensor helper for applying gate matrices to state tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def apply_matrix_to_axes(
+    tensor: np.ndarray, matrix: np.ndarray, axes: tuple[int, ...]
+) -> np.ndarray:
+    """Apply a ``2^k x 2^k`` matrix to the given qubit axes of ``tensor``.
+
+    ``tensor`` has some number of leading qubit axes (each of dimension 2)
+    followed by zero or more trailing batch axes; ``axes`` indexes qubit
+    axes.  Returns a new tensor with the same axis layout.
+    """
+    k = len(axes)
+    ndim = tensor.ndim
+    gate = matrix.reshape((2,) * (2 * k))
+    out = np.tensordot(gate, tensor, axes=(tuple(range(k, 2 * k)), axes))
+    # out axes: [gate outputs for axes[0..k-1]] + [all other original axes
+    # in original order]; build the permutation sending everything home.
+    remaining = [ax for ax in range(ndim) if ax not in axes]
+    current = {}
+    for i, ax in enumerate(axes):
+        current[ax] = i
+    for i, ax in enumerate(remaining):
+        current[ax] = k + i
+    order = [current[ax] for ax in range(ndim)]
+    return np.transpose(out, order)

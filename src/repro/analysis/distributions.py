@@ -1,0 +1,195 @@
+"""Probability distributions over measurement outcomes.
+
+A :class:`Distribution` maps bitstrings to probabilities.  Bitstrings are
+stored as Python integers with the **first measured qubit in the most
+significant bit** — the same big-endian convention used by the statevector
+simulator (qubit 0 is the most significant index bit).
+
+The paper quantifies accuracy with the Hellinger fidelity, evaluated on the
+complete distribution for sparse outputs and on single-qubit marginals for
+dense (VQA-style) outputs; both metrics live here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+import numpy as np
+
+
+class Distribution:
+    """A (sparse) probability distribution over ``n_bits``-bit outcomes."""
+
+    __slots__ = ("n_bits", "probs")
+
+    def __init__(self, n_bits: int, probs: Mapping[int, float]):
+        self.n_bits = int(n_bits)
+        self.probs: dict[int, float] = {
+            int(k): float(v) for k, v in probs.items() if v != 0.0
+        }
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_counts(cls, n_bits: int, counts: Mapping[int, int]) -> "Distribution":
+        total = sum(counts.values())
+        if total <= 0:
+            raise ValueError("empty counts")
+        return cls(n_bits, {k: v / total for k, v in counts.items()})
+
+    @classmethod
+    def from_array(cls, probabilities: np.ndarray) -> "Distribution":
+        """From a dense array of length ``2^n`` (index = big-endian bits)."""
+        size = len(probabilities)
+        n_bits = size.bit_length() - 1
+        if 2**n_bits != size:
+            raise ValueError("array length must be a power of 2")
+        nz = np.flatnonzero(probabilities)
+        return cls(n_bits, {int(i): float(probabilities[i]) for i in nz})
+
+    @classmethod
+    def point(cls, n_bits: int, outcome: int) -> "Distribution":
+        return cls(n_bits, {outcome: 1.0})
+
+    # -- queries --------------------------------------------------------------
+
+    def __getitem__(self, outcome: int) -> float:
+        return self.probs.get(int(outcome), 0.0)
+
+    def __len__(self) -> int:
+        return len(self.probs)
+
+    def __iter__(self):
+        return iter(self.probs.items())
+
+    def total(self) -> float:
+        return sum(self.probs.values())
+
+    def to_array(self) -> np.ndarray:
+        if self.n_bits > 26:
+            raise ValueError("distribution too wide for dense conversion")
+        out = np.zeros(2**self.n_bits)
+        for k, v in self.probs.items():
+            out[k] = v
+        return out
+
+    def bits(self, outcome: int) -> tuple[int, ...]:
+        """Bit tuple of an outcome (first measured qubit first)."""
+        return tuple(
+            (outcome >> (self.n_bits - 1 - i)) & 1 for i in range(self.n_bits)
+        )
+
+    # -- transformations --------------------------------------------------------
+
+    def normalized(self) -> "Distribution":
+        total = self.total()
+        if total <= 0:
+            raise ValueError("cannot normalise an all-zero distribution")
+        return Distribution(self.n_bits, {k: v / total for k, v in self.probs.items()})
+
+    def clipped(self) -> "Distribution":
+        """Drop negative quasi-probabilities (reconstruction noise) and renormalise."""
+        positive = {k: v for k, v in self.probs.items() if v > 0}
+        return Distribution(self.n_bits, positive).normalized()
+
+    def marginal(self, keep: Iterable[int]) -> "Distribution":
+        """Marginalise onto bit positions ``keep`` (in the given order)."""
+        keep = list(keep)
+        out: dict[int, float] = {}
+        for outcome, p in self.probs.items():
+            bits = self.bits(outcome)
+            key = 0
+            for b in (bits[i] for i in keep):
+                key = (key << 1) | b
+            out[key] = out.get(key, 0.0) + p
+        return Distribution(len(keep), out)
+
+    def single_bit_marginals(self) -> np.ndarray:
+        """Array of shape ``(n_bits, 2)`` with per-bit outcome probabilities."""
+        out = np.zeros((self.n_bits, 2))
+        for outcome, p in self.probs.items():
+            for i, b in enumerate(self.bits(outcome)):
+                out[i, b] += p
+        return out
+
+    def sample(self, shots: int, rng: np.random.Generator | int | None = None):
+        """Draw ``shots`` outcomes; returns a counts dict."""
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        keys = list(self.probs)
+        weights = np.array([self.probs[k] for k in keys])
+        weights = weights / weights.sum()
+        draws = rng.choice(len(keys), size=shots, p=weights)
+        counts: dict[int, int] = {}
+        for d in draws:
+            counts[keys[d]] = counts.get(keys[d], 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        preview = ", ".join(
+            f"{k:0{self.n_bits}b}: {v:.4f}"
+            for k, v in sorted(self.probs.items())[:6]
+        )
+        more = "..." if len(self.probs) > 6 else ""
+        return f"Distribution({self.n_bits} bits; {preview}{more})"
+
+
+def hellinger_fidelity(p: Distribution, q: Distribution) -> float:
+    """``(sum_i sqrt(p_i q_i))**2`` — 1.0 for identical distributions."""
+    if p.n_bits != q.n_bits:
+        raise ValueError("distributions have different widths")
+    overlap = 0.0
+    for outcome, pv in p.probs.items():
+        qv = q[outcome]
+        if pv > 0 and qv > 0:
+            overlap += math.sqrt(pv * qv)
+    return overlap**2
+
+
+def total_variation_distance(p: Distribution, q: Distribution) -> float:
+    keys = set(p.probs) | set(q.probs)
+    return 0.5 * sum(abs(p[k] - q[k]) for k in keys)
+
+
+def mean_marginal_fidelity(p: Distribution, q: Distribution) -> float:
+    """Mean single-bit-marginal Hellinger fidelity (the paper's dense metric)."""
+    if p.n_bits != q.n_bits:
+        raise ValueError("distributions have different widths")
+    pm = p.single_bit_marginals()
+    qm = q.single_bit_marginals()
+    fids = (np.sqrt(pm * qm).sum(axis=1)) ** 2
+    return float(fids.mean())
+
+
+def kl_divergence(p: Distribution, q: Distribution) -> float:
+    """``D(p || q)``; infinite when p has support outside q's."""
+    if p.n_bits != q.n_bits:
+        raise ValueError("distributions have different widths")
+    total = 0.0
+    for outcome, pv in p.probs.items():
+        qv = q[outcome]
+        if qv <= 0.0:
+            return math.inf
+        total += pv * math.log(pv / qv)
+    return total
+
+
+def cross_entropy(p: Distribution, q: Distribution) -> float:
+    """``-sum_x p(x) log q(x)`` (nats); infinite outside q's support."""
+    if p.n_bits != q.n_bits:
+        raise ValueError("distributions have different widths")
+    total = 0.0
+    for outcome, pv in p.probs.items():
+        qv = q[outcome]
+        if qv <= 0.0:
+            return math.inf
+        total -= pv * math.log(qv)
+    return total
+
+
+def marginal_fidelity_from_arrays(
+    pm: np.ndarray, qm: np.ndarray
+) -> float:
+    """Mean Hellinger fidelity between two ``(n, 2)`` marginal arrays."""
+    fids = (np.sqrt(np.clip(pm, 0, None) * np.clip(qm, 0, None)).sum(axis=1)) ** 2
+    return float(fids.mean())

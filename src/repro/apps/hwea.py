@@ -1,0 +1,85 @@
+"""The hardware-efficient VQE ansatz (HWEA) benchmark (paper §IV-B, §VI-B).
+
+One HWEA round is a layer of parameterised single-qubit rotations, a layer
+of entangling gates, and a final layer of single-qubit rotations.  In the
+CAFQA setting the rotation angles are restricted to Clifford points
+(multiples of pi/2, i.e. powers of S), making the whole ansatz a stabilizer
+circuit; injecting a few T gates produces the near-Clifford circuits that
+SuperSim targets ("near-CAFQA").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits import gates
+from repro.circuits.circuit import Circuit
+from repro.circuits.random import inject_t_gates
+
+
+class HWEA:
+    """Hardware-efficient ansatz generator.
+
+    Each round applies ``YPow(a_q) ZPow(b_q)`` on every qubit, a ladder of
+    CX entanglers, then ``YPow(c_q) ZPow(d_q)``; parameters are exponents in
+    "turns of pi" so the Clifford points are the multiples of 1/2.
+    """
+
+    def __init__(self, n_qubits: int, rounds: int):
+        if n_qubits < 1 or rounds < 0:
+            raise ValueError("need n_qubits >= 1 and rounds >= 0")
+        self.n_qubits = n_qubits
+        self.rounds = rounds
+
+    @property
+    def num_parameters(self) -> int:
+        return self.rounds * 4 * self.n_qubits
+
+    def circuit(self, parameters) -> Circuit:
+        """Build the ansatz for exponent parameters (length num_parameters)."""
+        parameters = np.asarray(parameters, dtype=float)
+        if parameters.shape != (self.num_parameters,):
+            raise ValueError(
+                f"expected {self.num_parameters} parameters, got {parameters.shape}"
+            )
+        circuit = Circuit(self.n_qubits)
+        index = 0
+        for _ in range(self.rounds):
+            for q in range(self.n_qubits):
+                self._rotation(circuit, q, parameters[index], parameters[index + 1])
+                index += 2
+            for q in range(self.n_qubits - 1):
+                circuit.append(gates.CX, q, q + 1)
+            for q in range(self.n_qubits):
+                self._rotation(circuit, q, parameters[index], parameters[index + 1])
+                index += 2
+        return circuit
+
+    @staticmethod
+    def _rotation(circuit: Circuit, q: int, a: float, b: float) -> None:
+        if a % 2.0 != 0.0:
+            circuit.append(gates.YPow(a), q)
+        if b % 2.0 != 0.0:
+            circuit.append(gates.ZPow(b), q)
+
+    def clifford_circuit(self, steps) -> Circuit:
+        """Ansatz at a Clifford point: integer ``steps`` of pi/2 per parameter."""
+        steps = np.asarray(steps, dtype=int)
+        return self.circuit(steps * 0.5)
+
+    def random_clifford_instance(
+        self, rng: np.random.Generator | int | None = None
+    ) -> Circuit:
+        """Random Clifford-point parameters (CAFQA search space sample)."""
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        steps = rng.integers(0, 4, size=self.num_parameters)
+        return self.clifford_circuit(steps)
+
+    def near_clifford_instance(
+        self,
+        num_t: int = 1,
+        rng: np.random.Generator | int | None = None,
+    ) -> Circuit:
+        """The paper's benchmark: Clifford HWEA with randomly injected T gates."""
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        return inject_t_gates(self.random_clifford_instance(rng), num_t, rng)

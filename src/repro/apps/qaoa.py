@@ -1,0 +1,106 @@
+"""QAOA for Sherrington–Kirkpatrick MaxCut (paper §IV-B, §VI-B).
+
+The SK model puts a random +-1 coupling on every edge of the complete graph;
+the QAOA ansatz matches the model exactly, so each round needs all-to-all
+two-qubit connectivity — the property that makes this benchmark hard for
+MPS simulators (long-range gates -> SWAP routing -> entanglement growth)
+and easy for SuperSim once the single injected T gate is cut out.
+
+Angle conventions: the cost layer applies ``exp(-i gamma w_ij Z_i Z_j)`` and
+the mixer ``exp(-i beta X_q)``; in ZPow-exponent units ("turns of pi")
+``t_cost = 2 gamma w / pi`` and ``t_mix = 2 beta / pi``, so Clifford points
+are gamma, beta in multiples of pi/4.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuits import gates
+from repro.circuits.circuit import Circuit
+from repro.circuits.random import inject_t_gates
+
+
+def sk_model(
+    n: int, rng: np.random.Generator | int | None = None
+) -> dict[tuple[int, int], int]:
+    """Random +-1 couplings on the complete graph over ``n`` vertices."""
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    couplings: dict[tuple[int, int], int] = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            couplings[(i, j)] = int(rng.choice([-1, 1]))
+    return couplings
+
+
+def qaoa_circuit(
+    n: int,
+    couplings: dict[tuple[int, int], int],
+    gammas,
+    betas,
+) -> Circuit:
+    """QAOA ansatz with one cost+mixer round per (gamma, beta) pair."""
+    gammas = np.atleast_1d(np.asarray(gammas, dtype=float))
+    betas = np.atleast_1d(np.asarray(betas, dtype=float))
+    if gammas.shape != betas.shape:
+        raise ValueError("gamma and beta lists must have equal length")
+    circuit = Circuit(n)
+    for q in range(n):
+        circuit.append(gates.H, q)
+    for gamma, beta in zip(gammas, betas):
+        for (i, j), weight in couplings.items():
+            t = 2.0 * gamma * weight / math.pi
+            if t % 2.0 != 0.0:
+                circuit.append(gates.ZZPow(t), i, j)
+        for q in range(n):
+            t = 2.0 * beta / math.pi
+            if t % 2.0 != 0.0:
+                circuit.append(gates.XPow(t), q)
+    return circuit
+
+
+def clifford_qaoa_circuit(
+    n: int,
+    couplings: dict[tuple[int, int], int],
+    gamma_steps: int = 1,
+    beta_steps: int = 1,
+    rounds: int = 1,
+) -> Circuit:
+    """QAOA at a Clifford point: angles are ``steps * pi/4``."""
+    gamma = gamma_steps * math.pi / 4
+    beta = beta_steps * math.pi / 4
+    return qaoa_circuit(n, couplings, [gamma] * rounds, [beta] * rounds)
+
+
+def near_clifford_qaoa(
+    n: int,
+    rounds: int = 1,
+    num_t: int = 1,
+    rng: np.random.Generator | int | None = None,
+) -> Circuit:
+    """The paper's Fig. 6 benchmark: 1-round Clifford QAOA + injected T."""
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    couplings = sk_model(n, rng)
+    gamma_steps = int(rng.integers(1, 4))
+    beta_steps = int(rng.integers(1, 4))
+    base = clifford_qaoa_circuit(n, couplings, gamma_steps, beta_steps, rounds)
+    return inject_t_gates(base, num_t, rng)
+
+
+def maxcut_value(couplings: dict[tuple[int, int], int], bits) -> float:
+    """Cut value of an assignment: sum of weights of crossing edges."""
+    bits = list(bits)
+    return float(
+        sum(w for (i, j), w in couplings.items() if bits[i] != bits[j])
+    )
+
+
+def expected_cut(couplings: dict[tuple[int, int], int], distribution) -> float:
+    """Expected cut value under an outcome distribution over all vertices."""
+    total = 0.0
+    for outcome, p in distribution:
+        bits = distribution.bits(outcome)
+        total += p * maxcut_value(couplings, bits)
+    return total

@@ -1,0 +1,213 @@
+"""Phase-exact tableau for control-type Cliffords.
+
+A *C-type* Clifford ``U`` is a product of S, CZ and CX gates.  Such
+operators fix ``|0...0>`` exactly (phase included), map computational basis
+states to computational basis states up to a power of ``i``, and keep
+``U^dag Z_p U`` and ``U Z_p U^dag`` purely Z-type.  This class tracks both
+conjugation directions exactly:
+
+* forward:  ``U^dag X_p U = i^fwd_g[p] X^fwd_x[p] Z^fwd_z[p]``,
+  ``U^dag Z_p U = Z^fwd_zz[p]``
+* inverse:  ``U X_p U^dag = i^inv_g[p] X^inv_x[p] Z^inv_z[p]``,
+  ``U Z_p U^dag = Z^inv_zz[p]``
+
+Phases here are *raw*: the operator is literally the ordered product
+``i^g * prod_q X_q^x * prod_q Z_q^z`` (all X factors left of all Z factors).
+
+Gate composition costs O(n) per elementary gate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CTypeTableau:
+    """The identity-initialised tableau of a C-type Clifford on n qubits."""
+
+    def __init__(self, n: int):
+        self.n = int(n)
+        eye = np.eye(n, dtype=bool)
+        self.fwd_x = eye.copy()
+        self.fwd_z = np.zeros((n, n), dtype=bool)
+        self.fwd_g = np.zeros(n, dtype=np.int64)
+        self.fwd_zz = eye.copy()
+        self.inv_x = eye.copy()
+        self.inv_z = np.zeros((n, n), dtype=bool)
+        self.inv_g = np.zeros(n, dtype=np.int64)
+        self.inv_zz = eye.copy()
+
+    def copy(self) -> "CTypeTableau":
+        out = CTypeTableau.__new__(CTypeTableau)
+        out.n = self.n
+        for field in ("fwd_x", "fwd_z", "fwd_g", "fwd_zz",
+                      "inv_x", "inv_z", "inv_g", "inv_zz"):
+            setattr(out, field, getattr(self, field).copy())
+        return out
+
+    # -- raw-form Pauli composition helpers -------------------------------
+
+    def _compose_x_rows(self, side: str, p: int, q: int, extra_phase: int) -> None:
+        """Row_p <- i^extra * Row_p * Row_q on X-image rows of ``side``."""
+        x = getattr(self, side + "_x")
+        z = getattr(self, side + "_z")
+        g = getattr(self, side + "_g")
+        # (i^g1 X^x1 Z^z1)(i^g2 X^x2 Z^z2) = i^{g1+g2+2 z1.x2} X^{x1^x2} Z^{z1^z2}
+        cross = int(np.count_nonzero(z[p] & x[q]))
+        g[p] = (g[p] + g[q] + 2 * cross + extra_phase) % 4
+        x[p] ^= x[q]
+        z[p] ^= z[q]
+
+    def _mix_x_with_z(self, side: str, p: int, q: int, extra_phase: int) -> None:
+        """Row_p <- i^extra * Row_p * Z-image-row_q (Z rows have no phase)."""
+        z = getattr(self, side + "_z")
+        g = getattr(self, side + "_g")
+        zz = getattr(self, side + "_zz")
+        # multiplying by a pure-Z operator on the right: no cross sign
+        g[p] = (g[p] + extra_phase) % 4
+        z[p] ^= zz[q]
+
+    # -- left multiplication: U <- g U --------------------------------------
+    # forward: P -> U^dag (g^dag P g) U   (rewrite rows p on the gate's qubits)
+    # inverse: P -> g (U P U^dag) g^dag   (conjugate all rows by g)
+
+    def left_s(self, q: int) -> None:
+        # forward rewrite: Sdg X S = -Y = i^3 X Z ;  Sdg Z S = Z
+        # inverse rows conjugate as S Row Sdg
+        self._mix_x_with_z("fwd", q, q, extra_phase=3)
+        self._conjugate_all_by_s("inv", q, dagger=True)
+
+    def left_sdg(self, q: int) -> None:
+        # forward rewrite: S X Sdg = Y = i X Z ; inverse rows: Sdg Row S
+        self._mix_x_with_z("fwd", q, q, extra_phase=1)
+        self._conjugate_all_by_s("inv", q, dagger=False)
+
+    def left_cz(self, a: int, b: int) -> None:
+        # CZ X_a CZ = X_a Z_b ; CZ X_b CZ = Z_a X_b ; Z fixed
+        self._mix_x_with_z("fwd", a, b, extra_phase=0)
+        self._mix_x_with_z("fwd", b, a, extra_phase=0)
+        self._conjugate_all_by_cz("inv", a, b)
+
+    def left_cx(self, c: int, t: int) -> None:
+        # CX X_c CX = X_c X_t ; X_t fixed ; Z_c fixed ; CX Z_t CX = Z_c Z_t
+        self._compose_x_rows("fwd", c, t, extra_phase=0)
+        self.fwd_zz[t] ^= self.fwd_zz[c]
+        self._conjugate_all_by_cx("inv", c, t)
+
+    # -- right multiplication: U <- U g --------------------------------------
+    # forward: P -> g^dag (U^dag P U) g   (conjugate all rows by g^dag)
+    # inverse: P -> U (g P g^dag) U^dag   (rewrite rows p on the gate's qubits)
+
+    def right_s(self, q: int) -> None:
+        # forward rows conjugate as Sdg Row S ; inverse rewrite: S X Sdg = i X Z
+        self._conjugate_all_by_s("fwd", q, dagger=False)
+        self._mix_x_with_z("inv", q, q, extra_phase=1)
+
+    def right_sdg(self, q: int) -> None:
+        self._conjugate_all_by_s("fwd", q, dagger=True)
+        self._mix_x_with_z("inv", q, q, extra_phase=3)
+
+    def right_z(self, q: int) -> None:
+        self.right_s(q)
+        self.right_s(q)
+
+    def right_cz(self, a: int, b: int) -> None:
+        self._conjugate_all_by_cz("fwd", a, b)
+        self._mix_x_with_z("inv", a, b, extra_phase=0)
+        self._mix_x_with_z("inv", b, a, extra_phase=0)
+
+    def right_cx(self, c: int, t: int) -> None:
+        self._conjugate_all_by_cx("fwd", c, t)
+        self._compose_x_rows("inv", c, t, extra_phase=0)
+        self.inv_zz[t] ^= self.inv_zz[c]
+
+    # -- conjugate every row of one side by a local gate -----------------------
+
+    def _conjugate_all_by_s(self, side: str, q: int, dagger: bool) -> None:
+        """Rows -> S Row Sdg (dagger=True) or Sdg Row S (dagger=False).
+
+        In raw form: X_q -> i^{+-1} X_q Z_q, so rows with an X at q toggle
+        their Z bit at q and shift phase.  Z-image rows are untouched.
+        """
+        x = getattr(self, side + "_x")
+        z = getattr(self, side + "_z")
+        g = getattr(self, side + "_g")
+        mask = x[:, q]
+        shift = 1 if dagger else 3
+        g[mask] = (g[mask] + shift) % 4
+        z[mask, q] ^= True
+
+    def _conjugate_all_by_cz(self, side: str, a: int, b: int) -> None:
+        """Rows -> CZ Row CZ.
+
+        X_a -> X_a Z_b and X_b -> Z_a X_b; reordering the raw product gives
+        an extra (-1) when both X bits are present.
+        """
+        x = getattr(self, side + "_x")
+        z = getattr(self, side + "_z")
+        g = getattr(self, side + "_g")
+        both = x[:, a] & x[:, b]
+        g[both] = (g[both] + 2) % 4
+        z[:, b] ^= x[:, a]
+        z[:, a] ^= x[:, b]
+
+    def _conjugate_all_by_cx(self, side: str, c: int, t: int) -> None:
+        """Rows -> CX Row CX: x_t ^= x_c, z_c ^= z_t, no phase in raw form."""
+        x = getattr(self, side + "_x")
+        z = getattr(self, side + "_z")
+        x[:, t] ^= x[:, c]
+        z[:, c] ^= z[:, t]
+        zz = getattr(self, side + "_zz")
+        zz[:, c] ^= zz[:, t]
+
+    # -- basis-state action ------------------------------------------------------
+
+    def _image_of_x_string(self, side: str, bits: np.ndarray):
+        """Raw-form image of ``X^bits`` under the chosen direction.
+
+        Returns ``(phase, x, z)`` with the operator ``i^phase X^x Z^z``.
+        """
+        x = getattr(self, side + "_x")
+        z = getattr(self, side + "_z")
+        g = getattr(self, side + "_g")
+        rows = np.flatnonzero(bits)
+        acc_x = np.zeros(self.n, dtype=bool)
+        acc_z = np.zeros(self.n, dtype=bool)
+        phase = 0
+        for p in rows:
+            cross = int(np.count_nonzero(acc_z & x[p]))
+            phase = (phase + int(g[p]) + 2 * cross) % 4
+            acc_x ^= x[p]
+            acc_z ^= z[p]
+        return phase, acc_x, acc_z
+
+    def apply_inverse_to_basis_state(self, bits: np.ndarray):
+        """``U^dag |bits> = i^k |out>`` — returns ``(k, out)``.
+
+        Uses ``U^dag |x> = (U^dag X^x U) U^dag |0> = fwd(X^x) |0>``.
+        """
+        phase, x, _z = self._image_of_x_string("fwd", np.asarray(bits, dtype=bool))
+        return phase, x
+
+    def apply_to_basis_state(self, bits: np.ndarray):
+        """``U |bits> = i^k |out>`` — returns ``(k, out)``."""
+        phase, x, _z = self._image_of_x_string("inv", np.asarray(bits, dtype=bool))
+        return phase, x
+
+    # -- dense matrix (tests only) --------------------------------------------
+
+    def to_matrix(self) -> np.ndarray:
+        if self.n > 10:
+            raise ValueError("to_matrix limited to 10 qubits")
+        dim = 2**self.n
+        out = np.zeros((dim, dim), dtype=complex)
+        for col in range(dim):
+            bits = np.array(
+                [(col >> (self.n - 1 - i)) & 1 for i in range(self.n)], dtype=bool
+            )
+            phase, image = self.apply_to_basis_state(bits)
+            row = 0
+            for bit in image:
+                row = (row << 1) | int(bit)
+            out[row, col] = 1j**phase
+        return out

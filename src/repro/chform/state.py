@@ -1,0 +1,286 @@
+"""The CH form: ``|phi> = w * U_C * U_H |s>`` with exact global phase.
+
+Gate support: S, CZ, CX (native C-type left-multiplications), Pauli gates,
+and H (the nontrivial update).  Everything else is routed through
+``Gate.stabilizer_decomposition()``.  The Hadamard update follows the
+desuperposition construction of Bravyi et al., *Simulation of quantum
+circuits by low-rank stabilizer decompositions* (Quantum 3, 181, 2019):
+
+``H_q |phi| = (w/sqrt2) U_C (P + Q) U_H |s>`` with ``P = U_C^dag X_q U_C``
+and ``Q = U_C^dag Z_q U_C``; pushing both Paulis through the Hadamard layer
+turns the sum into a two-basis-state superposition ``mu|t> + nu|u>`` under
+``U_H``, which is then re-expressed in canonical CH form.  Two cases arise:
+
+* some differing qubit has no Hadamard (case A): a CX fan from that pivot
+  collapses the superposition to one qubit, whose ``|0> + i^e |1>`` factor
+  becomes (S^b) H |c|;
+* every differing qubit is under a Hadamard (case B): the state is a
+  phased parity state, expressible with S/CZ diagonal dressing and a CX fan.
+
+Amplitudes ``<x|phi>`` cost O(n^2).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.chform.ctableau import CTypeTableau
+from repro.circuits.circuit import Circuit
+
+_SQRT_HALF = math.sqrt(0.5)
+
+
+class CHForm:
+    """A stabilizer state with exact phase, initialised to ``|0...0>``."""
+
+    def __init__(self, n: int):
+        self.n = int(n)
+        self.w: complex = 1.0 + 0.0j
+        self.tableau = CTypeTableau(n)
+        self.v = np.zeros(n, dtype=bool)  # Hadamard layer
+        self.s = np.zeros(n, dtype=bool)  # basis state
+
+    def copy(self) -> "CHForm":
+        out = CHForm.__new__(CHForm)
+        out.n = self.n
+        out.w = self.w
+        out.tableau = self.tableau.copy()
+        out.v = self.v.copy()
+        out.s = self.s.copy()
+        return out
+
+    def is_zero(self) -> bool:
+        return self.w == 0
+
+    # -- gate application ---------------------------------------------------
+
+    def apply_s(self, q: int) -> None:
+        self.tableau.left_s(q)
+
+    def apply_sdg(self, q: int) -> None:
+        self.tableau.left_sdg(q)
+
+    def apply_cz(self, a: int, b: int) -> None:
+        self.tableau.left_cz(a, b)
+
+    def apply_cx(self, c: int, t: int) -> None:
+        self.tableau.left_cx(c, t)
+
+    def apply_h(self, q: int) -> None:
+        if self.is_zero():
+            return
+        # P = U_C^dag X_q U_C ; Q = U_C^dag Z_q U_C (pure Z)
+        tab = self.tableau
+        p_phase = int(tab.fwd_g[q])
+        p_x = tab.fwd_x[q].copy()
+        p_z = tab.fwd_z[q].copy()
+        q_z = tab.fwd_zz[q].copy()
+        # push through the Hadamard layer: swap x/z on v-qubits; each
+        # v-qubit carrying both picks up (-1) (H XZ H = ZX = -XZ)
+        p_phase = (p_phase + 2 * int(np.count_nonzero(self.v & p_x & p_z))) % 4
+        p_x2 = np.where(self.v, p_z, p_x)
+        p_z2 = np.where(self.v, p_x, p_z)
+        q_x2 = np.where(self.v, q_z, np.zeros(self.n, dtype=bool))
+        q_z2 = np.where(self.v, np.zeros(self.n, dtype=bool), q_z)
+        # apply to |s>: X^x Z^z |s> = (-1)^{z.s} |s ^ x>
+        k1 = (p_phase + 2 * int(np.count_nonzero(p_z2 & self.s))) % 4
+        t = self.s ^ p_x2
+        k2 = (2 * int(np.count_nonzero(q_z2 & self.s))) % 4
+        u = self.s ^ q_x2
+        self.w = self.w * _SQRT_HALF * (1j**k1)
+        delta = (k2 - k1) % 4
+        if np.array_equal(t, u):
+            self.w = self.w * (1 + 1j**delta)
+            self.s = t
+            if abs(self.w) < 1e-14:
+                self.w = 0.0
+            return
+        self._desuperpose(t, u, delta)
+
+    def _desuperpose(self, t: np.ndarray, u: np.ndarray, delta: int) -> None:
+        """Rewrite ``U_H (|t> + i^delta |u>)`` in canonical form (t != u)."""
+        diff = t ^ u
+        diff_v0 = diff & ~self.v
+        if diff_v0.any():
+            self._desuperpose_with_bare_pivot(t, u, delta, diff, diff_v0)
+        else:
+            self._desuperpose_all_hadamard(t, delta, diff)
+
+    def _desuperpose_with_bare_pivot(self, t, u, delta, diff, diff_v0) -> None:
+        """Case A: pivot q* with v[q*] = 0.
+
+        Under the kets apply W = prod_{r in D, r != q*} CX(q*, r), which
+        commutes through U_H as CX (v_r=0) or CZ (v_r=1) — both C-type.
+        After W the two kets differ only at q*.
+        """
+        pivot = int(np.flatnonzero(diff_v0)[0])
+        tab = self.tableau
+        for r in np.flatnonzero(diff):
+            r = int(r)
+            if r == pivot:
+                continue
+            if self.v[r]:
+                tab.right_cz(pivot, r)
+            else:
+                tab.right_cx(pivot, r)
+        # After W the kets agree outside the pivot, with the common bits
+        # taken from whichever ket had pivot bit 0 (W leaves it untouched).
+        # The pivot factor keeps coefficient 1 on that ket's pivot bit:
+        #   t[pivot] == 0:  |0> + i^delta |1>
+        #   t[pivot] == 1:  |1> + i^delta |0> = i^delta (|0> + i^{-delta} |1>)
+        if t[pivot]:
+            new_s = u.copy()
+            self.w = self.w * (1j**delta)
+            eps = (-delta) % 4
+        else:
+            new_s = t.copy()
+            eps = delta % 4
+        # |0> + i^eps |1> = sqrt2 * S^(eps odd) H |eps >= 2>
+        if eps % 2 == 1:
+            tab.right_s(pivot)
+        new_s[pivot] = eps in (2, 3)
+        self.v[pivot] = True
+        self.s = new_s
+        self.w = self.w * math.sqrt(2.0)
+
+    def _desuperpose_all_hadamard(self, t, delta, diff) -> None:
+        """Case B: every differing qubit is under a Hadamard.
+
+        On D the state is ``H^D (|t_D> + i^delta |not t_D>)``, a phased
+        parity state over D:
+
+        * delta even: support on parity delta/2, built with a CX fan into a
+          bare pivot;
+        * delta odd: full support with phases (-/+ i)^{parity}, realised by
+          S^{-/+1} on D and CZ on all pairs of D.
+        """
+        tab = self.tableau
+        d_qubits = [int(r) for r in np.flatnonzero(diff)]
+        # (-1)^{t.x} phase pattern: Z^{t_D} on the left of everything
+        for r in d_qubits:
+            if t[r]:
+                tab.right_z(r)
+        new_s = t.copy()
+        if delta % 2 == 0:
+            pivot = d_qubits[0]
+            for r in d_qubits[1:]:
+                tab.right_cx(r, pivot)
+            self.v[pivot] = False
+            new_s[pivot] = delta == 2
+            for r in d_qubits[1:]:
+                new_s[r] = False
+            # scalar: (2/sqrt(2^d)) * sqrt(2^{d-1}) = sqrt2 ; with the
+            # earlier 1/sqrt2 from H the weight is unchanged
+            self.w = self.w * math.sqrt(2.0)
+        else:
+            # bracket = (1 + i^delta (-1)^parity) = (1 +- i) * (-+ i)^parity
+            for r in d_qubits:
+                if delta == 1:
+                    tab.right_sdg(r)
+                else:
+                    tab.right_s(r)
+            for i, a in enumerate(d_qubits):
+                for b in d_qubits[i + 1 :]:
+                    tab.right_cz(a, b)
+            for r in d_qubits:
+                new_s[r] = False
+            scalar = (1 + 1j) if delta == 1 else (1 - 1j)
+            self.w = self.w * scalar
+        self.s = new_s
+
+    def apply_x(self, q: int) -> None:
+        """Pauli X via X = H Z H would churn; route through the tableau.
+
+        ``X_q U_C = U_C (U_C^dag X_q U_C)``, then push the Pauli through
+        U_H onto |s>.
+        """
+        if self.is_zero():
+            return
+        tab = self.tableau
+        phase = int(tab.fwd_g[q])
+        x = tab.fwd_x[q].copy()
+        z = tab.fwd_z[q].copy()
+        phase = (phase + 2 * int(np.count_nonzero(self.v & x & z))) % 4
+        x2 = np.where(self.v, z, x)
+        z2 = np.where(self.v, x, z)
+        phase = (phase + 2 * int(np.count_nonzero(z2 & self.s))) % 4
+        self.s = self.s ^ x2
+        self.w = self.w * (1j**phase)
+
+    def apply_z(self, q: int) -> None:
+        self.apply_s(q)
+        self.apply_s(q)
+
+    def apply_gate(self, gate, qubits: tuple[int, ...]) -> None:
+        name = gate.name
+        if name == "S":
+            self.apply_s(qubits[0])
+        elif name == "SDG":
+            self.apply_sdg(qubits[0])
+        elif name == "H":
+            self.apply_h(qubits[0])
+        elif name == "CZ":
+            self.apply_cz(*qubits)
+        elif name == "CX":
+            self.apply_cx(*qubits)
+        elif name == "X":
+            self.apply_x(qubits[0])
+        elif name == "Z":
+            self.apply_z(qubits[0])
+        elif name == "Y":
+            # Y = i X Z exactly; the {H,S,CX} decomposition only recovers
+            # Y up to global phase, which the CH form must not lose
+            self.apply_z(qubits[0])
+            self.apply_x(qubits[0])
+            self.w = self.w * 1j
+        else:
+            for sub_name, wires in gate.stabilizer_decomposition():
+                sub = tuple(qubits[w] for w in wires)
+                if sub_name == "H":
+                    self.apply_h(sub[0])
+                elif sub_name == "S":
+                    self.apply_s(sub[0])
+                else:
+                    self.apply_cx(*sub)
+
+    def apply_circuit(self, circuit: Circuit) -> None:
+        if circuit.n_qubits != self.n:
+            raise ValueError("circuit width does not match state")
+        for op in circuit.ops:
+            if not op.gate.is_clifford:
+                raise ValueError(f"{op.gate!r} is not Clifford")
+            self.apply_gate(op.gate, op.qubits)
+
+    # -- readout -------------------------------------------------------------
+
+    def amplitude(self, bits: np.ndarray) -> complex:
+        """Exact ``<bits|phi>`` in O(n^2)."""
+        if self.is_zero():
+            return 0.0
+        bits = np.asarray(bits, dtype=bool)
+        # <x| U_C = (U_C^dag |x>)^dag = (i^k |a>)^dag
+        k, a = self.tableau.apply_inverse_to_basis_state(bits)
+        # <a| U_H |s> — zero unless a == s on bare qubits
+        bare = ~self.v
+        if np.any((a ^ self.s) & bare):
+            return 0.0
+        sign_exp = int(np.count_nonzero(a & self.s & self.v))
+        n_h = int(np.count_nonzero(self.v))
+        value = (-1.0) ** sign_exp * 2.0 ** (-n_h / 2)
+        return self.w * (1j ** ((-k) % 4)) * value
+
+    def to_statevector(self) -> np.ndarray:
+        """Dense amplitudes (tests / small n only)."""
+        if self.n > 12:
+            raise ValueError("to_statevector limited to 12 qubits")
+        out = np.zeros(2**self.n, dtype=complex)
+        for index in range(2**self.n):
+            bits = [(index >> (self.n - 1 - i)) & 1 for i in range(self.n)]
+            out[index] = self.amplitude(np.array(bits, dtype=bool))
+        return out
+
+    def norm_squared(self) -> float:
+        """Always 1 for a non-zero CH form (or 0); useful as an invariant."""
+        return 0.0 if self.is_zero() else abs(self.w) ** 2

@@ -1,0 +1,72 @@
+"""Circuit intermediate representation: gates, circuits, random generators."""
+
+from repro.circuits.circuit import Circuit, Operation
+from repro.circuits.gates import (
+    CX,
+    CY,
+    CZ,
+    H,
+    I,
+    ONE_QUBIT_CLIFFORD_GATES,
+    S,
+    SDG,
+    SWAP,
+    SX,
+    SXDG,
+    T,
+    TDG,
+    X,
+    XPow,
+    Y,
+    YPow,
+    Z,
+    ZPow,
+    ZZPow,
+    Gate,
+    Rz,
+)
+from repro.circuits.diagram import text_diagram
+from repro.circuits.gates import CZPow
+from repro.circuits.library import brickwork_layer, ghz_circuit, qft_circuit
+from repro.circuits.qasm import to_qasm
+from repro.circuits.random import (
+    inject_t_gates,
+    random_clifford_circuit,
+    random_near_clifford_circuit,
+)
+
+__all__ = [
+    "Circuit",
+    "Operation",
+    "Gate",
+    "I",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "SDG",
+    "T",
+    "TDG",
+    "SX",
+    "SXDG",
+    "CX",
+    "CY",
+    "CZ",
+    "SWAP",
+    "XPow",
+    "YPow",
+    "ZPow",
+    "ZZPow",
+    "Rz",
+    "ONE_QUBIT_CLIFFORD_GATES",
+    "CZPow",
+    "random_clifford_circuit",
+    "random_near_clifford_circuit",
+    "inject_t_gates",
+    "ghz_circuit",
+    "qft_circuit",
+    "brickwork_layer",
+    "text_diagram",
+    "to_qasm",
+]

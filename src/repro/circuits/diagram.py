@@ -1,0 +1,82 @@
+"""ASCII circuit diagrams (Cirq-style, simplified).
+
+``text_diagram(circuit)`` renders operations in depth-ordered columns::
+
+    0: -H-@-----
+          |
+    1: ---X-T-M
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+
+_SYMBOLS = {
+    "CX": ("@", "X"),
+    "CY": ("@", "Y"),
+    "CZ": ("@", "@"),
+    "SWAP": ("x", "x"),
+}
+
+
+def _gate_label(gate, wire: int) -> str:
+    if gate.name in _SYMBOLS:
+        return _SYMBOLS[gate.name][wire]
+    if gate.params:
+        return f"{gate.name}({gate.params[0]:g})"
+    return gate.name
+
+
+def text_diagram(circuit: Circuit) -> str:
+    """Render the circuit as fixed-width ASCII art."""
+    n = circuit.n_qubits
+    # column assignment by depth layering
+    level = [0] * n
+    columns: list[list] = []
+    for op in circuit.ops:
+        col = max(level[q] for q in op.qubits)
+        for q in op.qubits:
+            level[q] = col + 1
+        while len(columns) <= col:
+            columns.append([])
+        columns[col].append(op)
+
+    show_measure = circuit.has_explicit_measurements or bool(circuit.ops)
+    wire_rows = [f"{q}: " for q in range(n)]
+    pad = max(len(r) for r in wire_rows) if wire_rows else 0
+    wire_rows = [r.ljust(pad) for r in wire_rows]
+    gap_rows = [" " * pad for _ in range(max(0, n - 1))]
+
+    for column in columns:
+        labels: dict[int, str] = {}
+        spans: list[tuple[int, int]] = []
+        for op in column:
+            for w, q in enumerate(op.qubits):
+                labels[q] = _gate_label(op.gate, w)
+            lo, hi = min(op.qubits), max(op.qubits)
+            if hi > lo:
+                spans.append((lo, hi))
+        width = max(len(s) for s in labels.values())
+        for q in range(n):
+            symbol = labels.get(q, "")
+            cell = symbol.center(width, "-") if symbol else "-" * width
+            wire_rows[q] += "-" + cell
+        for g in range(n - 1):
+            # vertical connector between wires g and g+1
+            connected = any(lo <= g < hi for lo, hi in spans)
+            mark = "|" if connected else " "
+            gap_rows[g] += " " + mark.center(width)
+
+    if show_measure:
+        for q in range(n):
+            mark = "M" if q in circuit.measured_qubits else "-"
+            wire_rows[q] += f"-{mark}"
+        for g in range(n - 1):
+            gap_rows[g] += "  "
+
+    lines = []
+    for q in range(n):
+        lines.append(wire_rows[q])
+        if q < n - 1:
+            lines.append(gap_rows[q])
+    return "\n".join(line.rstrip() for line in lines)

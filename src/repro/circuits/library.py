@@ -1,0 +1,52 @@
+"""Common circuit constructions.
+
+A small standard library used by tests, examples and benchmarks: GHZ
+states, brickwork entangling layers, and the quantum Fourier transform
+(whose controlled-phase towers make it a natural stress test for
+Clifford+T-style simulators — its T-count grows with precision).
+"""
+
+from __future__ import annotations
+
+from repro.circuits import gates
+from repro.circuits.circuit import Circuit
+
+
+def ghz_circuit(n: int) -> Circuit:
+    """|0...0> + |1...1> via a Hadamard and a CX chain."""
+    if n < 1:
+        raise ValueError("need at least one qubit")
+    circuit = Circuit(n)
+    circuit.append(gates.H, 0)
+    for q in range(n - 1):
+        circuit.append(gates.CX, q, q + 1)
+    return circuit
+
+
+def brickwork_layer(circuit: Circuit, offset: int = 0, gate=None) -> Circuit:
+    """Append one brickwork layer of two-qubit gates (default CZ)."""
+    gate = gate or gates.CZ
+    for q in range(offset % 2, circuit.n_qubits - 1, 2):
+        circuit.append(gate, q, q + 1)
+    return circuit
+
+
+def qft_circuit(n: int, approximation_degree: int = 0) -> Circuit:
+    """The quantum Fourier transform (without the final qubit reversal).
+
+    ``approximation_degree`` drops the smallest-angle controlled phases
+    (the approximate QFT); each retained ``CZPow(2^-k)`` with ``k >= 1`` is
+    non-Clifford, so the exact QFT on ``n`` qubits carries
+    ``(n-1)(n-2)/2 + (n-1)`` non-Clifford gates — a deliberately *bad* case
+    for circuit cutting and a classic stress test for Clifford+T methods.
+    """
+    if n < 1:
+        raise ValueError("need at least one qubit")
+    circuit = Circuit(n)
+    for target in range(n):
+        circuit.append(gates.H, target)
+        for k, control in enumerate(range(target + 1, n), start=1):
+            if approximation_degree and k > n - 1 - approximation_degree:
+                continue
+            circuit.append(gates.CZPow(2.0**-k), control, target)
+    return circuit

@@ -1,0 +1,78 @@
+"""OpenQASM 2.0 export.
+
+``to_qasm(circuit)`` emits a program equal to the circuit up to global
+phase (QASM's ``rz``/``rx``/``ry`` differ from the ZPow/XPow/YPow family by
+a phase that no measurement can observe).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import Circuit
+
+_DIRECT = {
+    "I": "id",
+    "X": "x",
+    "Y": "y",
+    "Z": "z",
+    "H": "h",
+    "S": "s",
+    "SDG": "sdg",
+    "T": "t",
+    "TDG": "tdg",
+    "SX": "sx",
+    "CX": "cx",
+    "CY": "cy",
+    "CZ": "cz",
+    "SWAP": "swap",
+}
+
+
+def _emit(op) -> list[str]:
+    name = op.gate.name
+    qubits = op.qubits
+    args = ",".join(f"q[{q}]" for q in qubits)
+    if name in _DIRECT:
+        return [f"{_DIRECT[name]} {args};"]
+    if name == "SXDG":
+        # SXDG == H . SDG . H exactly
+        q = qubits[0]
+        return [f"h q[{q}];", f"sdg q[{q}];", f"h q[{q}];"]
+    if name in ("ZP", "RZ"):
+        theta = (
+            op.gate.params[0] * math.pi
+            if name == "ZP"
+            else op.gate.params[0]
+        )
+        return [f"rz({theta!r}) {args};"]
+    if name == "XP":
+        return [f"rx({op.gate.params[0] * math.pi!r}) {args};"]
+    if name == "YP":
+        return [f"ry({op.gate.params[0] * math.pi!r}) {args};"]
+    if name == "ZZP":
+        theta = op.gate.params[0] * math.pi
+        c, t = qubits
+        return [
+            f"cx q[{c}],q[{t}];",
+            f"rz({theta!r}) q[{t}];",
+            f"cx q[{c}],q[{t}];",
+        ]
+    raise ValueError(f"no QASM translation for gate {op.gate!r}")
+
+
+def to_qasm(circuit: Circuit) -> str:
+    """Serialise to OpenQASM 2.0 (measurements included)."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.n_qubits}];",
+    ]
+    measured = circuit.measured_qubits
+    if measured:
+        lines.append(f"creg c[{len(measured)}];")
+    for op in circuit.ops:
+        lines.extend(_emit(op))
+    for i, q in enumerate(measured):
+        lines.append(f"measure q[{q}] -> c[{i}];")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,31 @@
+"""SuperSim: Clifford-based circuit cutting (the paper's contribution).
+
+Pipeline (paper §V):
+
+1. :mod:`repro.core.cutter` — find cut locations that isolate non-Clifford
+   operations and split the circuit into fragments;
+2. :mod:`repro.core.evaluator` — evaluate every fragment *variant*
+   (choices of prepared states at quantum inputs and measurement bases at
+   quantum outputs), dispatching Clifford fragments to the stabilizer
+   simulator and non-Clifford fragments to the statevector simulator;
+3. :mod:`repro.core.reconstruction` — recombine fragment tensors over the
+   ``4^k`` Pauli assignments of the ``k`` cuts to build the output
+   distribution of the original circuit.
+
+The user-facing entry point is :class:`repro.core.supersim.SuperSim`.
+"""
+
+from repro.core.cutter import Cut, CutStrategy, cut_circuit, find_cuts
+from repro.core.fragments import CutCircuit, Fragment
+from repro.core.supersim import SuperSim, SuperSimResult
+
+__all__ = [
+    "Cut",
+    "CutStrategy",
+    "find_cuts",
+    "cut_circuit",
+    "Fragment",
+    "CutCircuit",
+    "SuperSim",
+    "SuperSimResult",
+]

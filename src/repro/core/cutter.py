@@ -1,0 +1,220 @@
+"""The SuperSim circuit cutter (paper §V-A).
+
+``find_cuts`` parses a near-Clifford circuit and places cuts that isolate
+its non-Clifford operations from the Clifford bulk; ``cut_circuit`` splits a
+circuit along a given cut set into :class:`Fragment` objects.
+
+The default ``ISOLATE`` strategy cuts every wire of a non-Clifford operation
+immediately before and after it, except where the wire starts or ends the
+circuit (those boundaries are free) or where the neighbouring operation is
+itself non-Clifford (adjacent non-Clifford ops share a fragment, so a cut
+between them would be wasted).  This realises the paper's bound: the number
+of cuts is at most twice the number of non-Clifford gates.
+
+The ``GREEDY_MERGE`` strategy additionally drops cuts whose removal does not
+increase the total cut count — merging a non-Clifford gate into a
+neighbouring Clifford region when that region is small enough to simulate
+exactly anyway (Fig. 2's observation that a bigger, cheaper-to-stitch
+fragment can beat a minimal one).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+
+from repro.circuits.circuit import Circuit
+from repro.core.fragments import Cut, CutCircuit, Fragment
+
+
+class CutStrategy(enum.Enum):
+    #: isolate every non-Clifford op with cuts on all its wires
+    ISOLATE = "isolate"
+    #: isolate, then drop cuts that merely separate small Clifford tails
+    GREEDY_MERGE = "greedy_merge"
+
+
+def _wire_positions(circuit: Circuit) -> list[list[int]]:
+    """Per-op, per-wire position of each op among the ops on that qubit."""
+    counters: dict[int, int] = defaultdict(int)
+    positions: list[list[int]] = []
+    for op in circuit.ops:
+        row = []
+        for q in op.qubits:
+            row.append(counters[q])
+            counters[q] += 1
+        positions.append(row)
+    return positions
+
+
+def _ops_per_qubit(circuit: Circuit) -> dict[int, int]:
+    counts: dict[int, int] = defaultdict(int)
+    for op in circuit.ops:
+        for q in op.qubits:
+            counts[q] += 1
+    return counts
+
+
+def find_cuts(
+    circuit: Circuit, strategy: CutStrategy = CutStrategy.ISOLATE
+) -> list[Cut]:
+    """Cut locations isolating the non-Clifford operations of ``circuit``."""
+    positions = _wire_positions(circuit)
+    totals = _ops_per_qubit(circuit)
+    non_clifford = [not op.gate.is_clifford for op in circuit.ops]
+
+    # classify each wire position as belonging to a Clifford or non-Clifford op
+    wire_is_ncl: dict[tuple[int, int], bool] = {}
+    for i, op in enumerate(circuit.ops):
+        for w, q in enumerate(op.qubits):
+            wire_is_ncl[(q, positions[i][w])] = non_clifford[i]
+
+    cuts: set[Cut] = set()
+    for i, op in enumerate(circuit.ops):
+        if not non_clifford[i]:
+            continue
+        for w, q in enumerate(op.qubits):
+            p = positions[i][w]
+            # cut before, unless at the wire start or preceded by another
+            # non-Clifford op (shared fragment)
+            if p > 0 and not wire_is_ncl.get((q, p - 1), False):
+                cuts.add(Cut(q, p))
+            # cut after, unless at the wire end or followed by non-Clifford
+            if p + 1 < totals[q] and not wire_is_ncl.get((q, p + 1), False):
+                cuts.add(Cut(q, p + 1))
+    result = sorted(cuts)
+    if strategy is CutStrategy.GREEDY_MERGE:
+        result = _greedy_merge(circuit, result)
+    return result
+
+
+def _greedy_merge(circuit: Circuit, cuts: list[Cut]) -> list[Cut]:
+    """Drop cuts one at a time while the fragment count stays above one.
+
+    Removing a cut merges the non-Clifford fragment with a Clifford
+    neighbour; that enlarges the non-Clifford fragment (more expensive exact
+    simulation) but removes a factor of 4 from reconstruction.  The greedy
+    rule drops a cut whenever the merged fragment stays small (at most
+    ``_MERGE_LIMIT`` qubits), mirroring the paper's Fig. 2 discussion.
+    """
+    merge_limit = 10
+    current = list(cuts)
+    improved = True
+    while improved and len(current) > 0:
+        improved = False
+        for cut in list(current):
+            trial = [c for c in current if c != cut]
+            try:
+                trial_cc = cut_circuit(circuit, trial)
+            except ValueError:
+                continue
+            largest_ncl = max(
+                (f.n_qubits for f in trial_cc.fragments if not f.is_clifford),
+                default=0,
+            )
+            if largest_ncl <= merge_limit and len(trial_cc.fragments) > 1:
+                current = trial
+                improved = True
+                break
+    return current
+
+
+def cut_circuit(circuit: Circuit, cuts: list[Cut]) -> CutCircuit:
+    """Split ``circuit`` along ``cuts`` into fragments."""
+    positions = _wire_positions(circuit)
+    totals = _ops_per_qubit(circuit)
+    cuts = sorted(set(cuts))
+    cut_index = {cut: i for i, cut in enumerate(cuts)}
+    for cut in cuts:
+        # a cut at or beyond the final op-position on its wire separates
+        # nothing from nothing — the circuit end is already a free boundary
+        if cut.position >= totals.get(cut.qubit, 0):
+            raise ValueError(f"{cut} sits at or after the last operation on its wire")
+
+    cut_positions: dict[int, list[int]] = defaultdict(list)
+    for cut in cuts:
+        cut_positions[cut.qubit].append(cut.position)
+    for qubit in cut_positions:
+        cut_positions[qubit].sort()
+
+    def segment_of(q: int, p: int) -> int:
+        """Index of the wire segment containing op-position ``p`` on ``q``."""
+        return sum(1 for cp in cut_positions.get(q, ()) if cp <= p)
+
+    # enumerate all segments: qubit q has len(cuts_on_q) + 1 segments
+    segments: list[tuple[int, int]] = []
+    for q in range(circuit.n_qubits):
+        for s in range(len(cut_positions.get(q, ())) + 1):
+            segments.append((q, s))
+    seg_id = {seg: i for i, seg in enumerate(segments)}
+
+    # union-find over segments, joined by operations
+    parent = list(range(len(segments)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[ri] = rj
+
+    for i, op in enumerate(circuit.ops):
+        ids = [seg_id[(q, segment_of(q, positions[i][w]))]
+               for w, q in enumerate(op.qubits)]
+        for other in ids[1:]:
+            union(ids[0], other)
+
+    # group segments into fragments
+    roots: dict[int, list[tuple[int, int]]] = defaultdict(list)
+    for seg in segments:
+        roots[find(seg_id[seg])].append(seg)
+    ordered_roots = sorted(roots, key=lambda r: min(roots[r]))
+
+    fragments: list[Fragment] = []
+    seg_to_fragment_qubit: dict[tuple[int, int], tuple[int, int]] = {}
+    for f_index, root in enumerate(ordered_roots):
+        segs = sorted(roots[root])
+        local = {seg: i for i, seg in enumerate(segs)}
+        for seg, lq in local.items():
+            seg_to_fragment_qubit[seg] = (f_index, lq)
+        frag_circuit = Circuit(len(segs))
+        fragment = Fragment(index=f_index, circuit=frag_circuit)
+        for q, s in segs:
+            lq = local[(q, s)]
+            n_cuts_q = len(cut_positions.get(q, ()))
+            if s == 0:
+                fragment.circuit_inputs.append(lq)
+            else:
+                opening = Cut(q, cut_positions[q][s - 1])
+                fragment.quantum_inputs.append((cut_index[opening], lq))
+            if s == n_cuts_q:
+                fragment.circuit_outputs.append((q, lq))
+            else:
+                closing = Cut(q, cut_positions[q][s])
+                fragment.quantum_outputs.append((cut_index[closing], lq))
+        fragments.append(fragment)
+
+    # place operations into fragment circuits (original order preserved)
+    for i, op in enumerate(circuit.ops):
+        seg = (op.qubits[0], segment_of(op.qubits[0], positions[i][0]))
+        f_index, _ = seg_to_fragment_qubit[seg]
+        fragment = fragments[f_index]
+        local_qubits = []
+        for w, q in enumerate(op.qubits):
+            f2, lq = seg_to_fragment_qubit[(q, segment_of(q, positions[i][w]))]
+            if f2 != f_index:  # pragma: no cover - union-find guarantees this
+                raise AssertionError("operation spans fragments")
+            local_qubits.append(lq)
+        fragment.circuit.append(op.gate, *local_qubits)
+
+    # sort boundary lists for determinism
+    for fragment in fragments:
+        fragment.quantum_inputs.sort()
+        fragment.quantum_outputs.sort()
+        fragment.circuit_outputs.sort()
+        fragment.circuit_inputs.sort()
+    return CutCircuit(original=circuit, cuts=cuts, fragments=fragments)

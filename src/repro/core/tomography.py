@@ -1,0 +1,276 @@
+"""Fragment tensors: from variant statistics to Pauli-indexed models.
+
+The recombination step (paper §V-C, following the maximum-likelihood
+fragment tomography of reference [40]) consumes, per fragment, the tensor
+
+    T[P_in..., P_out...](x) =
+        Tr[ (Pi_x  ⊗ P_out...) E_F( rho(P_in...) ) ]
+
+where ``rho(P)`` extends the fragment channel linearly over the Pauli basis
+at each quantum input (via the prepared-state decomposition in
+:mod:`repro.core.variants`) and each quantum output Pauli is estimated from
+the matching measurement basis.  ``x`` ranges over the *kept* circuit-output
+bits of the fragment.
+
+Two refinements live here as well:
+
+* **Clifford expectation snapping** (paper §IX): a stabilizer state's Pauli
+  expectation is exactly -1, 0 or +1, so for sampled Clifford fragments the
+  per-outcome conditional expectations are snapped to the nearest of the
+  three values, removing most sampling error with very few shots.
+* **Physicality projection** (the maximum-likelihood correction of [40],
+  realised as the standard eigenvalue-clipping projection): the
+  Pauli-transfer data of each kept outcome is reassembled into a Choi-like
+  operator, projected onto the PSD cone, and re-expanded.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.evaluator import FragmentData
+from repro.core.variants import BASIS_FOR_PAULI, PREP_COEFFICIENTS
+
+_PAULI_MATS = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+_PAULI_ORDER = "IXYZ"
+
+
+def _snap(value: float) -> float:
+    """Snap a conditional expectation to the nearest of {-1, 0, +1}."""
+    if value > 0.5:
+        return 1.0
+    if value < -0.5:
+        return -1.0
+    return 0.0
+
+
+def build_fragment_tensor(
+    data: FragmentData,
+    keep_locals: list[int],
+    snap_clifford: bool = False,
+    project: bool = False,
+) -> np.ndarray:
+    """Tensor of shape ``(4,)*qi + (4,)*qo + (2**len(keep_locals),)``.
+
+    ``keep_locals`` are the fragment-local circuit-output qubits whose bits
+    the caller wants to keep (order defines the bit order of the last axis).
+    """
+    fragment = data.fragment
+    qi = len(fragment.quantum_inputs)
+    qo = len(fragment.quantum_outputs)
+    out_cols = [lq for _cut, lq in fragment.quantum_outputs]
+    keep_cols = list(keep_locals)
+    n_kept = len(keep_cols)
+    snap = snap_clifford and fragment.is_clifford
+
+    # E[s_combo][P_out combo] -> vector over kept bits
+    raw = np.zeros((4,) * qi + (4,) * qo + (2**n_kept,))
+    for preps in itertools.product(range(4), repeat=qi):
+        for pauli_out in itertools.product(range(4), repeat=qo):
+            bases = tuple(BASIS_FOR_PAULI[p] for p in pauli_out)
+            dist = data.variant(preps, bases).joint(keep_cols + out_cols)
+            signs_mask = [j for j, p in enumerate(pauli_out) if p != 0]
+            vec = np.zeros(2**n_kept)
+            if snap and signs_mask:
+                weight = np.zeros(2**n_kept)
+            for outcome, prob in dist:
+                bits = dist.bits(outcome)
+                x_key = 0
+                for b in bits[:n_kept]:
+                    x_key = (x_key << 1) | b
+                m_bits = bits[n_kept:]
+                sign = 1.0
+                for j in signs_mask:
+                    if m_bits[j]:
+                        sign = -sign
+                vec[x_key] += prob * sign
+                if snap and signs_mask:
+                    weight[x_key] += prob
+            if snap and signs_mask:
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    ratio = np.where(weight > 0, vec / np.maximum(weight, 1e-300), 0.0)
+                vec = weight * np.vectorize(_snap)(ratio)
+            raw[preps + pauli_out] = vec
+
+    # contract each prep axis with the Pauli-over-preparation coefficients
+    tensor = raw
+    for axis in range(qi):
+        tensor = np.tensordot(PREP_COEFFICIENTS, tensor, axes=([1], [axis]))
+        # tensordot moved the new Pauli axis to the front; rotate it back
+        order = list(range(1, axis + 1)) + [0] + list(range(axis + 1, tensor.ndim))
+        tensor = np.transpose(tensor, order)
+    if project and (qi or qo):
+        tensor = project_physical(tensor, qi, qo)
+    return tensor
+
+
+def build_sparse_fragment_tensor(
+    data: FragmentData,
+    keep_locals: list[int],
+    snap_clifford: bool = False,
+) -> dict[tuple[int, ...], dict[int, float]]:
+    """Sparse variant of :func:`build_fragment_tensor`.
+
+    Returns ``{pauli_combo: {kept_outcome: value}}`` with Pauli axes ordered
+    as quantum inputs then quantum outputs.  Used when fragments keep many
+    output bits but the output distribution has small support (e.g. the
+    repetition-code benchmark at widths where a dense ``2^n`` vector could
+    not exist).
+    """
+    fragment = data.fragment
+    qi = len(fragment.quantum_inputs)
+    qo = len(fragment.quantum_outputs)
+    out_cols = [lq for _cut, lq in fragment.quantum_outputs]
+    keep_cols = list(keep_locals)
+    n_kept = len(keep_cols)
+    snap = snap_clifford and fragment.is_clifford
+
+    raw: dict[tuple[int, ...], dict[int, float]] = {}
+    for preps in itertools.product(range(4), repeat=qi):
+        for pauli_out in itertools.product(range(4), repeat=qo):
+            bases = tuple(BASIS_FOR_PAULI[p] for p in pauli_out)
+            dist = data.variant(preps, bases).joint(keep_cols + out_cols)
+            signs_mask = [j for j, p in enumerate(pauli_out) if p != 0]
+            vec: dict[int, float] = {}
+            weight: dict[int, float] = {}
+            for outcome, prob in dist:
+                bits = dist.bits(outcome)
+                x_key = 0
+                for b in bits[:n_kept]:
+                    x_key = (x_key << 1) | b
+                sign = 1.0
+                for j in signs_mask:
+                    if bits[n_kept + j]:
+                        sign = -sign
+                vec[x_key] = vec.get(x_key, 0.0) + prob * sign
+                if snap and signs_mask:
+                    weight[x_key] = weight.get(x_key, 0.0) + prob
+            if snap and signs_mask:
+                vec = {
+                    x: w * _snap(vec.get(x, 0.0) / w)
+                    for x, w in weight.items()
+                    if w > 0
+                }
+            raw[preps + pauli_out] = vec
+
+    # contract prep axes with the Pauli/preparation coefficient matrix
+    tensor: dict[tuple[int, ...], dict[int, float]] = {}
+    for pauli_in in itertools.product(range(4), repeat=qi):
+        for pauli_out in itertools.product(range(4), repeat=qo):
+            combined: dict[int, float] = {}
+            for preps in itertools.product(range(4), repeat=qi):
+                coeff = 1.0
+                for p, s in zip(pauli_in, preps):
+                    coeff *= PREP_COEFFICIENTS[p][s]
+                if coeff == 0.0:
+                    continue
+                for x, v in raw[preps + pauli_out].items():
+                    combined[x] = combined.get(x, 0.0) + coeff * v
+            tensor[pauli_in + pauli_out] = combined
+    return tensor
+
+
+def fragment_tensor_at(
+    data: FragmentData,
+    fixed_bits: dict[int, int],
+    snap_clifford: bool = False,
+) -> dict[tuple[int, ...], float]:
+    """Fragment tensor evaluated at one fixed outcome of its kept qubits.
+
+    ``fixed_bits`` maps fragment-local circuit-output qubits to bit values.
+    Returns ``{pauli_combo: scalar}`` — the ingredients of strong simulation
+    (paper §V-C: "the probability to observe a particular bitstring ... can
+    be computed to machine precision"), with cost independent of the number
+    of other outcomes.
+    """
+    fragment = data.fragment
+    qi = len(fragment.quantum_inputs)
+    qo = len(fragment.quantum_outputs)
+    out_cols = [lq for _cut, lq in fragment.quantum_outputs]
+    keep_locals = sorted(fixed_bits)
+    x_bits = [int(fixed_bits[lq]) for lq in keep_locals]
+    cols = keep_locals + out_cols
+    snap = snap_clifford and fragment.is_clifford
+
+    raw: dict[tuple[int, ...], float] = {}
+    for preps in itertools.product(range(4), repeat=qi):
+        for pauli_out in itertools.product(range(4), repeat=qo):
+            bases = tuple(BASIS_FOR_PAULI[p] for p in pauli_out)
+            variant = data.variant(preps, bases)
+            signs_mask = [j for j, p in enumerate(pauli_out) if p != 0]
+            value = 0.0
+            weight = 0.0
+            for m in itertools.product((0, 1), repeat=qo):
+                p = variant.probability_at(cols, x_bits + list(m))
+                sign = 1.0
+                for j in signs_mask:
+                    if m[j]:
+                        sign = -sign
+                value += p * sign
+                weight += p
+            if snap and signs_mask and weight > 0:
+                value = weight * _snap(value / weight)
+            raw[preps + pauli_out] = value
+
+    result: dict[tuple[int, ...], float] = {}
+    for pauli_in in itertools.product(range(4), repeat=qi):
+        for pauli_out in itertools.product(range(4), repeat=qo):
+            total = 0.0
+            for preps in itertools.product(range(4), repeat=qi):
+                coeff = 1.0
+                for p, s in zip(pauli_in, preps):
+                    coeff *= PREP_COEFFICIENTS[p][s]
+                if coeff:
+                    total += coeff * raw[preps + pauli_out]
+            result[pauli_in + pauli_out] = total
+    return result
+
+
+def _pauli_kron(indices: tuple[int, ...], transpose_input: int = 0) -> np.ndarray:
+    """Kron product of Paulis; the first ``transpose_input`` factors transposed."""
+    out = np.array([[1.0 + 0j]])
+    for pos, index in enumerate(indices):
+        mat = _PAULI_MATS[_PAULI_ORDER[index]]
+        if pos < transpose_input:
+            mat = mat.T
+        out = np.kron(out, mat)
+    return out
+
+
+def project_physical(tensor: np.ndarray, qi: int, qo: int) -> np.ndarray:
+    """Project fragment data onto physical (PSD) models, kept-bit by bit.
+
+    For each kept outcome ``x`` the Pauli coefficients define a Choi-like
+    operator ``M(x) = 2^-(qi+qo) * sum T[P](x) (P_in^T ⊗ P_out)``; physical
+    fragment models have every ``M(x)`` positive semidefinite.  Negative
+    eigenvalues — sampling artifacts — are clipped and the coefficients
+    re-extracted, the closest-PSD-point analogue of the maximum-likelihood
+    correction of Perlin et al.
+    """
+    k = qi + qo
+    dim = 2**k
+    pauli_axes_shape = tensor.shape[: qi + qo]
+    n_out = tensor.shape[-1]
+    combos = list(itertools.product(range(4), repeat=k))
+    basis = {combo: _pauli_kron(combo, transpose_input=qi) for combo in combos}
+    projected = np.zeros_like(tensor)
+    for x in range(n_out):
+        m = np.zeros((dim, dim), dtype=complex)
+        for combo in combos:
+            m += tensor[combo + (x,)] * basis[combo]
+        m /= dim
+        vals, vecs = np.linalg.eigh((m + m.conj().T) / 2)
+        vals = np.clip(vals, 0.0, None)
+        m_psd = (vecs * vals) @ vecs.conj().T
+        for combo in combos:
+            projected[combo + (x,)] = float(
+                np.trace(basis[combo].conj().T @ m_psd).real
+            )
+    return projected.reshape(pauli_axes_shape + (n_out,))

@@ -1,0 +1,17 @@
+"""Clifford+T simulation by low-rank stabilizer decomposition.
+
+Implements the approach of Bravyi et al. (the paper's reference [5], the
+algorithm behind Qiskit's *extended stabilizer* simulator): the state is a
+sum of phase-exact stabilizer states (CH forms); Clifford gates act on every
+term, and each non-Clifford diagonal rotation ``Z^a = alpha*I + beta*S``
+doubles the number of terms.  Weak simulation (sampling) uses a Metropolis
+chain over bitstrings, as Qiskit does — including its characteristic
+failure on sparse/peaked distributions (paper Fig. 7).
+"""
+
+from repro.extended_stabilizer.simulator import (
+    ExtendedStabilizerSimulator,
+    StabilizerSum,
+)
+
+__all__ = ["ExtendedStabilizerSimulator", "StabilizerSum"]

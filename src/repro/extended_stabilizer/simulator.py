@@ -1,0 +1,304 @@
+"""Sum-of-stabilizers state and the extended-stabilizer simulator."""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.analysis.distributions import Distribution
+from repro.chform.state import CHForm
+from repro.circuits.circuit import Circuit
+
+
+def _diagonal_branch_coefficients(d0: complex, d1: complex) -> tuple[complex, complex]:
+    """Solve ``diag(d0, d1) = alpha*I + beta*S`` (S = diag(1, i)).
+
+    Any single-qubit diagonal gate splits a stabilizer term into an identity
+    branch and an S branch — the ``Z^a = a*I + b*S`` decomposition that makes
+    each T gate double the stabilizer rank.
+    """
+    beta = (d0 - d1) / (1 - 1j)
+    alpha = d0 - beta
+    return alpha, beta
+
+
+def _euler_zxz(matrix: np.ndarray) -> tuple[complex, float, float, float]:
+    """Factor a 1-qubit unitary as ``phase * Z^a . X^b . Z^c`` (ZPow/XPow).
+
+    Exponents are in "turns of pi" (``Z^a = diag(1, e^{i pi a})``), matching
+    :func:`repro.circuits.gates.ZPow`.
+    """
+    u = np.asarray(matrix, dtype=complex)
+    # U = e^{i phi} Rz(l) Ry(t) Rz(r) standard Euler; convert Ry to X^b via
+    # Ry(t) = Z^{-1/2} X^{t/pi} Z^{1/2} up to phase. Simpler: solve directly.
+    # Write U = phase * diag(1, e^{i pi a}) H diag(1, e^{i pi b}) H diag(1, e^{i pi c})
+    # and fit numerically by extracting angles from the matrix elements of
+    # X^b = H Z^b H = [[cos, -i' sin...]] form:
+    #   X^b = e^{i pi b/2} [[cos(pi b/2), -i sin(pi b/2)],
+    #                       [-i sin(pi b/2), cos(pi b/2)]]
+    abs00 = abs(u[0, 0])
+    abs01 = abs(u[0, 1])
+    b = 2 * math.atan2(abs01, abs00) / math.pi  # in [0, 1]
+    xb_half = math.pi * b / 2
+    xb = cmath.exp(1j * xb_half) * np.array(
+        [
+            [math.cos(xb_half), -1j * math.sin(xb_half)],
+            [-1j * math.sin(xb_half), math.cos(xb_half)],
+        ]
+    )
+    # remaining: U = phase * diag(1, za) @ xb @ diag(1, zc)
+    # u00 = phase * xb00 ; u01 = phase * xb01 * zc
+    # u10 = phase * za * xb10 ; u11 = phase * za * xb11 * zc
+    # equations: u00 = phase*xb00 ; u01 = phase*xb01*zc ;
+    #            u10 = phase*za*xb10 ; u11 = phase*za*xb11*zc
+    if abs(xb[0, 0]) >= abs(xb[0, 1]):
+        phase = u[0, 0] / xb[0, 0]
+        zc = u[0, 1] / (phase * xb[0, 1]) if abs(xb[0, 1]) > 1e-12 else 1.0
+        za = u[1, 0] / (phase * xb[1, 0]) if abs(xb[1, 0]) > 1e-12 else (
+            u[1, 1] / (phase * xb[1, 1] * zc)
+        )
+    else:
+        phase_zc = u[0, 1] / xb[0, 1]
+        phase_za = u[1, 0] / xb[1, 0]
+        if abs(xb[1, 1]) > 1e-12:
+            phase = phase_za * phase_zc / (u[1, 1] / xb[1, 1])
+        else:
+            # b == 1 exactly: zc is pure gauge, absorb it into the phase
+            phase = phase_zc
+        za = phase_za / phase
+        zc = phase_zc / phase
+    za /= abs(za)
+    zc /= abs(zc)
+    phase /= abs(phase)
+    a = cmath.phase(za) / math.pi
+    c = cmath.phase(zc) / math.pi
+    return phase, a, b, c
+
+
+class StabilizerSum:
+    """A Clifford+T state: ``sum_i |phi_i>`` with CH-form terms.
+
+    Branch coefficients are folded into each term's global scalar ``w``.
+    """
+
+    def __init__(self, n: int, max_terms: int = 4096):
+        self.n = int(n)
+        self.max_terms = max_terms
+        self.terms: list[CHForm] = [CHForm(n)]
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.terms)
+
+    # -- gate application ------------------------------------------------------
+
+    def apply_clifford(self, gate, qubits: tuple[int, ...]) -> None:
+        for term in self.terms:
+            term.apply_gate(gate, qubits)
+
+    def apply_diagonal_branch(self, q: int, d0: complex, d1: complex) -> None:
+        """Apply ``diag(d0, d1)`` on qubit ``q``.
+
+        Clifford diagonals (relative phase a power of i) are applied as
+        S-gate chains without increasing the rank; anything else branches
+        every term into an identity part and an S part.
+        """
+        ratio = d1 / d0
+        for k in range(4):
+            if abs(ratio - 1j**k) < 1e-12:
+                for term in self.terms:
+                    for _ in range(k):
+                        term.apply_s(q)
+                    term.w *= d0
+                return
+        alpha, beta = _diagonal_branch_coefficients(d0, d1)
+        if len(self.terms) * 2 > self.max_terms:
+            raise RuntimeError(
+                f"stabilizer rank would exceed max_terms={self.max_terms}; "
+                "too many non-Clifford gates"
+            )
+        new_terms: list[CHForm] = []
+        for term in self.terms:
+            if abs(alpha) > 1e-14:
+                identity_branch = term.copy()
+                identity_branch.w *= alpha
+                new_terms.append(identity_branch)
+            if abs(beta) > 1e-14:
+                s_branch = term
+                s_branch.apply_s(q)
+                s_branch.w *= beta
+                new_terms.append(s_branch)
+        self.terms = new_terms
+
+    def apply_operation(self, gate, qubits: tuple[int, ...]) -> None:
+        if gate.is_clifford:
+            self.apply_clifford(gate, qubits)
+            return
+        name = gate.name
+        if name in ("T", "TDG", "ZP", "RZ") or (
+            gate.num_qubits == 1
+            and np.allclose(gate.matrix, np.diag(np.diag(gate.matrix)), atol=1e-12)
+        ):
+            d0, d1 = gate.matrix[0, 0], gate.matrix[1, 1]
+            self.apply_diagonal_branch(qubits[0], d0, d1)
+            return
+        if gate.num_qubits == 2 and np.allclose(
+            gate.matrix, np.diag(np.diag(gate.matrix)), atol=1e-12
+        ):
+            # any 2-qubit diagonal factorises over x, y and x XOR y:
+            #   phi(x, y) = alpha x + beta y + gamma (x ^ y)  (+ phi(0,0))
+            # so it costs at most three diagonal branches; the XOR factor is
+            # realised as CX . diag(1, e^{i gamma})_target . CX.  ZZPow hits
+            # the pure-gamma case (one branch), matching its T-count.
+            d = np.diag(gate.matrix)
+            phi01 = float(np.angle(d[1] / d[0]))
+            phi10 = float(np.angle(d[2] / d[0]))
+            phi11 = float(np.angle(d[3] / d[0]))
+            # phi11 angle wraps mod 2pi; the linear system is over the reals,
+            # so solve with the branch that keeps exponents consistent
+            alpha = (phi10 + phi11 - phi01) / 2
+            beta = (phi01 + phi11 - phi10) / 2
+            gamma = (phi10 + phi01 - phi11) / 2
+            qa, qb = qubits
+            from repro.circuits import gates as g
+
+            self.apply_diagonal_branch(qa, 1.0, cmath.exp(1j * alpha))
+            self.apply_diagonal_branch(qb, 1.0, cmath.exp(1j * beta))
+            self.apply_clifford(g.CX, (qa, qb))
+            self.apply_diagonal_branch(qb, 1.0, cmath.exp(1j * gamma))
+            self.apply_clifford(g.CX, (qa, qb))
+            for term in self.terms:
+                term.w *= d[0]
+            return
+        if gate.num_qubits == 1:
+            from repro.circuits import gates as g
+
+            phase, a, b, c = _euler_zxz(gate.matrix)
+            for exponent, conjugate in ((c, False), (b, True), (a, False)):
+                zgate = g.ZPow(exponent)
+                if conjugate:
+                    self.apply_clifford(g.H, qubits)
+                if zgate.is_clifford:
+                    self.apply_clifford(zgate, qubits)
+                else:
+                    d = zgate.matrix
+                    self.apply_diagonal_branch(qubits[0], d[0, 0], d[1, 1])
+                if conjugate:
+                    self.apply_clifford(g.H, qubits)
+            for term in self.terms:
+                term.w *= phase
+            return
+        raise ValueError(
+            f"non-Clifford gate {gate!r} is not supported by the extended "
+            "stabilizer simulator"
+        )
+
+    def apply_circuit(self, circuit: Circuit) -> None:
+        if circuit.n_qubits != self.n:
+            raise ValueError("circuit width does not match state")
+        for op in circuit.ops:
+            self.apply_operation(op.gate, op.qubits)
+
+    # -- readout ------------------------------------------------------------------
+
+    def amplitude(self, bits: np.ndarray) -> complex:
+        return sum((term.amplitude(bits) for term in self.terms), 0.0)
+
+    def probability(self, bits: np.ndarray) -> float:
+        return abs(self.amplitude(bits)) ** 2
+
+    def to_statevector(self) -> np.ndarray:
+        if self.n > 12:
+            raise ValueError("to_statevector limited to 12 qubits")
+        out = np.zeros(2**self.n, dtype=complex)
+        for term in self.terms:
+            out += term.to_statevector()
+        return out
+
+
+class ExtendedStabilizerSimulator:
+    """Clifford+T sampler in the style of Qiskit's extended stabilizer.
+
+    Weak simulation uses a Metropolis random walk over bitstrings with
+    single-bit-flip proposals and acceptance ratio ``p(x')/p(x)`` computed
+    from exact amplitudes.  Like Qiskit's implementation, this mixes well on
+    dense distributions (VQA-style outputs) and fails badly on sparse ones
+    whose support the chain cannot find — reproducing the fidelity collapse
+    the paper observes on the repetition-code benchmark (Fig. 7).
+
+    ``max_qubits`` defaults to 63, matching Qiskit's limit.
+    """
+
+    name = "extended_stabilizer"
+
+    def __init__(
+        self,
+        max_qubits: int = 63,
+        mixing_steps: int = 5000,
+        max_terms: int = 4096,
+    ):
+        self.max_qubits = max_qubits
+        self.mixing_steps = mixing_steps
+        self.max_terms = max_terms
+
+    def run(self, circuit: Circuit) -> StabilizerSum:
+        if circuit.n_qubits > self.max_qubits:
+            raise ValueError(
+                f"{circuit.n_qubits} qubits exceeds the extended-stabilizer "
+                f"limit of {self.max_qubits}"
+            )
+        state = StabilizerSum(circuit.n_qubits, max_terms=self.max_terms)
+        state.apply_circuit(circuit)
+        return state
+
+    def probabilities(self, circuit: Circuit) -> Distribution:
+        """Exact (strong) simulation by amplitude enumeration; small n only."""
+        n = circuit.n_qubits
+        if n > 16:
+            raise ValueError("exact enumeration limited to 16 qubits")
+        state = self.run(circuit)
+        probs = np.empty(2**n)
+        for index in range(2**n):
+            bits = np.array([(index >> (n - 1 - i)) & 1 for i in range(n)], bool)
+            probs[index] = state.probability(bits)
+        full = Distribution.from_array(probs)
+        measured = circuit.measured_qubits
+        if measured == tuple(range(n)):
+            return full
+        return full.marginal(list(measured))
+
+    def sample(
+        self,
+        circuit: Circuit,
+        shots: int,
+        rng: np.random.Generator | int | None = None,
+        mixing_steps: int | None = None,
+    ) -> Distribution:
+        """Metropolis weak simulation; returns the empirical distribution."""
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        state = self.run(circuit)
+        n = circuit.n_qubits
+        steps = self.mixing_steps if mixing_steps is None else mixing_steps
+        bits = rng.integers(0, 2, size=n, dtype=np.uint8).astype(bool)
+        p_current = state.probability(bits)
+        counts: dict[int, int] = {}
+        measured = list(circuit.measured_qubits)
+        total_steps = steps + shots
+        flips = rng.integers(0, n, size=total_steps)
+        unif = rng.random(total_steps)
+        for step in range(total_steps):
+            q = int(flips[step])
+            bits[q] ^= True
+            p_new = state.probability(bits)
+            if p_current > 0 and unif[step] * p_current > p_new:
+                bits[q] ^= True  # reject
+            else:
+                p_current = p_new
+            if step >= steps:
+                key = 0
+                for b in bits[measured]:
+                    key = (key << 1) | int(b)
+                counts[key] = counts.get(key, 0) + 1
+        return Distribution.from_counts(len(measured), counts)

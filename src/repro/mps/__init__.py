@@ -1,0 +1,11 @@
+"""Matrix-product-state simulation (the paper's Qiskit MPS baseline).
+
+MPS simulators trade accuracy for scalability: cost is polynomial in the
+bond dimension, which stays small for low-entanglement circuits (where MPS
+beats everything — paper Fig. 7) and grows exponentially with entangling
+depth (where MPS collapses — paper Fig. 4).
+"""
+
+from repro.mps.simulator import MPSSimulator, MPSState
+
+__all__ = ["MPSSimulator", "MPSState"]

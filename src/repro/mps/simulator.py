@@ -1,0 +1,202 @@
+"""Matrix product state simulator with SVD truncation and swap routing.
+
+The state is a chain of tensors ``A_i`` of shape ``(D_left, 2, D_right)``.
+Two-qubit gates act on adjacent sites by contraction + SVD; non-adjacent
+gates are routed with SWAP chains (as the Qiskit MPS backend does), which is
+what makes all-to-all circuits like SK-model QAOA expensive in this
+representation.  Singular values below ``cutoff`` (relative to the largest)
+are discarded; with the default tight cutoff the simulation is numerically
+exact and the bond dimension — and hence runtime — grows exponentially with
+entangling depth, reproducing the paper's Fig. 4 blow-up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.distributions import Distribution
+from repro.circuits.circuit import Circuit
+
+
+class MPSState:
+    """An n-qubit matrix product state, initialised to |0...0>."""
+
+    def __init__(self, n: int, cutoff: float = 1e-12, max_bond: int | None = None):
+        self.n = int(n)
+        self.cutoff = float(cutoff)
+        self.max_bond = max_bond
+        self.tensors: list[np.ndarray] = []
+        for _ in range(self.n):
+            t = np.zeros((1, 2, 1), dtype=complex)
+            t[0, 0, 0] = 1.0
+            self.tensors.append(t)
+        self.truncation_error = 0.0
+
+    @property
+    def bond_dimensions(self) -> list[int]:
+        return [t.shape[2] for t in self.tensors[:-1]]
+
+    @property
+    def max_bond_dimension(self) -> int:
+        return max(self.bond_dimensions, default=1)
+
+    # -- gates ----------------------------------------------------------------
+
+    def apply_1q(self, matrix: np.ndarray, q: int) -> None:
+        self.tensors[q] = np.einsum("ab,ibj->iaj", matrix, self.tensors[q])
+
+    def apply_2q_adjacent(self, matrix: np.ndarray, q: int) -> None:
+        """Apply a 4x4 gate on sites (q, q+1)."""
+        a, b = self.tensors[q], self.tensors[q + 1]
+        dl, dr = a.shape[0], b.shape[2]
+        theta = np.einsum("isj,jtk->istk", a, b)
+        gate = matrix.reshape(2, 2, 2, 2)
+        theta = np.einsum("stuv,iuvk->istk", gate, theta)
+        theta = theta.reshape(dl * 2, 2 * dr)
+        u, s, vh = np.linalg.svd(theta, full_matrices=False)
+        keep = s > (self.cutoff * s[0] if len(s) and s[0] > 0 else 0.0)
+        k = int(np.count_nonzero(keep))
+        if self.max_bond is not None and k > self.max_bond:
+            k = self.max_bond
+        if k == 0:
+            k = 1
+        self.truncation_error += float(np.sum(s[k:] ** 2))
+        u, s, vh = u[:, :k], s[:k], vh[:k]
+        self.tensors[q] = u.reshape(dl, 2, k)
+        self.tensors[q + 1] = (s[:, None] * vh).reshape(k, 2, dr)
+
+    def apply_2q(self, matrix: np.ndarray, a: int, b: int) -> None:
+        """Apply a two-qubit gate, routing with SWAPs if non-adjacent."""
+        swap = np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+            dtype=complex,
+        )
+        if a > b:
+            # reorder wires via permutation of the gate matrix
+            matrix = matrix.reshape(2, 2, 2, 2).transpose(1, 0, 3, 2).reshape(4, 4)
+            a, b = b, a
+        # bring b next to a
+        for site in range(b - 1, a, -1):
+            self.apply_2q_adjacent(swap, site)
+        self.apply_2q_adjacent(matrix, a)
+        for site in range(a + 1, b):
+            self.apply_2q_adjacent(swap, site)
+
+    def apply_circuit(self, circuit: Circuit) -> None:
+        if circuit.n_qubits != self.n:
+            raise ValueError("circuit width does not match MPS")
+        for op in circuit.ops:
+            if op.gate.num_qubits == 1:
+                self.apply_1q(op.gate.matrix, op.qubits[0])
+            elif op.gate.num_qubits == 2:
+                self.apply_2q(op.gate.matrix, *op.qubits)
+            else:
+                raise ValueError(f"{op.gate!r}: only 1- and 2-qubit gates supported")
+
+    # -- readout ------------------------------------------------------------------
+
+    def _right_environments(self) -> list[np.ndarray]:
+        """``R[i]`` contracts sites i..n-1 of <psi|psi> over the bond at i."""
+        right = [np.ones((1, 1), dtype=complex)]
+        for t in reversed(self.tensors):
+            r = right[-1]
+            # sum_s A[:,s,:] R A[:,s,:]^dag
+            m = np.einsum("isj,jk,lsk->il", t, r, t.conj())
+            right.append(m)
+        right.reverse()
+        return right
+
+    def norm_squared(self) -> float:
+        return float(self._right_environments()[0].real[0, 0])
+
+    def sample_bits(
+        self, shots: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Exact conditional sampling, vectorised over shots; (shots, n) bits."""
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        right = self._right_environments()
+        out = np.zeros((shots, self.n), dtype=bool)
+        left = np.ones((shots, 1), dtype=complex)  # per-shot bond vector
+        for i, tensor in enumerate(self.tensors):
+            r = right[i + 1]
+            v0 = left @ tensor[:, 0, :]   # (shots, D')
+            v1 = left @ tensor[:, 1, :]
+            p0 = np.einsum("si,ij,sj->s", v0, r, v0.conj()).real
+            p1 = np.einsum("si,ij,sj->s", v1, r, v1.conj()).real
+            total = p0 + p1
+            bits = rng.random(shots) * total >= p0
+            out[:, i] = bits
+            chosen = np.where(bits[:, None], v1, v0)
+            norms = np.sqrt(np.maximum(np.where(bits, p1, p0), 1e-300))
+            left = chosen / norms[:, None]
+        return out
+
+    def amplitude(self, bits) -> complex:
+        value = np.ones(1, dtype=complex)
+        for i, bit in enumerate(bits):
+            value = value @ self.tensors[i][:, int(bit), :]
+        return complex(value[0])
+
+    def to_statevector(self) -> np.ndarray:
+        if self.n > 14:
+            raise ValueError("to_statevector limited to 14 qubits")
+        psi = np.ones((1, 1), dtype=complex)
+        for t in self.tensors:
+            psi = np.einsum("xi,isj->xsj", psi, t).reshape(-1, t.shape[2])
+        return psi.reshape(-1)
+
+    def single_bit_marginals(self) -> np.ndarray:
+        """(n, 2) exact per-qubit outcome probabilities."""
+        right = self._right_environments()
+        out = np.zeros((self.n, 2))
+        left = np.ones((1, 1), dtype=complex)
+        for i, tensor in enumerate(self.tensors):
+            for s in (0, 1):
+                m = tensor[:, s, :]
+                val = np.einsum("ab,ai,bj,ij->", left, m, m.conj(), right[i + 1])
+                out[i, s] = float(val.real)
+            left = np.einsum("ab,asi,bsj->ij", left, tensor, tensor.conj())
+        norm = out.sum(axis=1, keepdims=True)
+        return out / norm
+
+
+class MPSSimulator:
+    """MPS simulation facade mirroring the other backends."""
+
+    name = "mps"
+
+    def __init__(self, cutoff: float = 1e-12, max_bond: int | None = None):
+        self.cutoff = cutoff
+        self.max_bond = max_bond
+
+    def run(self, circuit: Circuit) -> MPSState:
+        state = MPSState(circuit.n_qubits, cutoff=self.cutoff, max_bond=self.max_bond)
+        state.apply_circuit(circuit)
+        return state
+
+    def sample(
+        self,
+        circuit: Circuit,
+        shots: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> Distribution:
+        state = self.run(circuit)
+        measured = list(circuit.measured_qubits)
+        bits = state.sample_bits(shots, rng)[:, measured]
+        counts: dict[int, int] = {}
+        for row in bits:
+            key = 0
+            for b in row:
+                key = (key << 1) | int(b)
+            counts[key] = counts.get(key, 0) + 1
+        return Distribution.from_counts(len(measured), counts)
+
+    def probabilities(self, circuit: Circuit) -> Distribution:
+        """Exact distribution via dense conversion (small circuits only)."""
+        state = self.run(circuit)
+        probs = np.abs(state.to_statevector()) ** 2
+        full = Distribution.from_array(probs)
+        measured = circuit.measured_qubits
+        if measured == tuple(range(circuit.n_qubits)):
+            return full
+        return full.marginal(list(measured))

@@ -1,0 +1,19 @@
+"""Pauli-string algebra with exact phase tracking.
+
+This package provides the symplectic (binary) representation of Pauli
+operators used throughout the stabilizer machinery: the tableau simulator,
+the CH-form simulator, and the circuit-cutting reconstruction all manipulate
+:class:`PauliString` objects.
+"""
+
+from repro.paulis.pauli import (
+    CLIFFORD_CONJUGATION_GATES,
+    PauliString,
+    conjugate_pauli,
+)
+
+__all__ = [
+    "PauliString",
+    "conjugate_pauli",
+    "CLIFFORD_CONJUGATION_GATES",
+]

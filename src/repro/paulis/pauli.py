@@ -1,0 +1,287 @@
+"""Phase-tracked Pauli strings in the symplectic representation.
+
+A Pauli string on ``n`` qubits is stored as a pair of binary vectors
+``(x, z)`` plus a power of ``i``::
+
+    P = i**phase * prod_q X_q**x[q] * Z_q**z[q]
+
+with the convention that, within each qubit, ``X`` is written before ``Z``.
+Under this convention ``Y = i * X * Z`` is represented by
+``x=1, z=1, phase=1``.
+
+The module also implements conjugation of Pauli strings by named Clifford
+gates (``U P U^dagger``), which is the primitive used by the tableau and
+CH-form simulators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+# Single-qubit images of X and Z under conjugation by elementary Clifford
+# gates.  Each image is given as (phase, [(wire, 'X'|'Z'), ...]) where the
+# listed single-qubit factors are multiplied left-to-right and ``wire``
+# indexes into the gate's qubit tuple.
+_IMAGE_TABLE: dict[str, dict[tuple[int, str], tuple[int, list[tuple[int, str]]]]] = {
+    "H": {
+        (0, "X"): (0, [(0, "Z")]),
+        (0, "Z"): (0, [(0, "X")]),
+    },
+    "S": {
+        # S X Sdg = Y = i X Z
+        (0, "X"): (1, [(0, "X"), (0, "Z")]),
+        (0, "Z"): (0, [(0, "Z")]),
+    },
+    "SDG": {
+        # Sdg X S = -Y = -i X Z  ->  i^3 X Z
+        (0, "X"): (3, [(0, "X"), (0, "Z")]),
+        (0, "Z"): (0, [(0, "Z")]),
+    },
+    "X": {
+        (0, "X"): (0, [(0, "X")]),
+        (0, "Z"): (2, [(0, "Z")]),
+    },
+    "Y": {
+        (0, "X"): (2, [(0, "X")]),
+        (0, "Z"): (2, [(0, "Z")]),
+    },
+    "Z": {
+        (0, "X"): (2, [(0, "X")]),
+        (0, "Z"): (0, [(0, "Z")]),
+    },
+    "CX": {
+        # qubit 0 = control, qubit 1 = target
+        (0, "X"): (0, [(0, "X"), (1, "X")]),
+        (1, "X"): (0, [(1, "X")]),
+        (0, "Z"): (0, [(0, "Z")]),
+        (1, "Z"): (0, [(0, "Z"), (1, "Z")]),
+    },
+    "CZ": {
+        (0, "X"): (0, [(0, "X"), (1, "Z")]),
+        (1, "X"): (0, [(0, "Z"), (1, "X")]),
+        (0, "Z"): (0, [(0, "Z")]),
+        (1, "Z"): (0, [(1, "Z")]),
+    },
+    "SWAP": {
+        (0, "X"): (0, [(1, "X")]),
+        (1, "X"): (0, [(0, "X")]),
+        (0, "Z"): (0, [(1, "Z")]),
+        (1, "Z"): (0, [(0, "Z")]),
+    },
+}
+
+# Gates whose conjugation action is defined by composition of table entries.
+# ``U = g_k ... g_2 g_1`` as a circuit (g_1 applied first), so
+# ``U P Udg = g_k (... (g_1 P g_1dg) ...) g_kdg`` applies table gates in
+# circuit order.
+_COMPOSED: dict[str, list[tuple[str, tuple[int, ...]]]] = {
+    "SX": [("H", (0,)), ("S", (0,)), ("H", (0,))],
+    "SXDG": [("H", (0,)), ("SDG", (0,)), ("H", (0,))],
+    "SY": [("SDG", (0,)), ("H", (0,)), ("S", (0,)), ("H", (0,)), ("S", (0,))],
+    "SYDG": [("SDG", (0,)), ("H", (0,)), ("SDG", (0,)), ("H", (0,)), ("S", (0,))],
+    "CY": [("SDG", (1,)), ("CX", (0, 1)), ("S", (1,))],
+}
+
+#: Names of gates for which :func:`conjugate_pauli` is defined.
+CLIFFORD_CONJUGATION_GATES = frozenset(_IMAGE_TABLE) | frozenset(_COMPOSED)
+
+_LABEL_TO_XZ = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
+# phase correction: Y = i X Z, so a 'Y' letter contributes one power of i
+_LABEL_PHASE = {"I": 0, "X": 0, "Y": 1, "Z": 0}
+_XZ_TO_LABEL = {(0, 0): "I", (1, 0): "X", (1, 1): "Y", (0, 1): "Z"}
+
+_PAULI_MATRICES = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+class PauliString:
+    """An n-qubit Pauli operator ``i**phase * prod_q X^x[q] Z^z[q]``."""
+
+    __slots__ = ("x", "z", "phase")
+
+    def __init__(
+        self,
+        x: Iterable[int] | np.ndarray,
+        z: Iterable[int] | np.ndarray,
+        phase: int = 0,
+    ):
+        self.x = np.asarray(x, dtype=bool).copy()
+        self.z = np.asarray(z, dtype=bool).copy()
+        if self.x.shape != self.z.shape or self.x.ndim != 1:
+            raise ValueError("x and z must be equal-length 1-D bit vectors")
+        self.phase = int(phase) % 4
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def identity(cls, n: int) -> "PauliString":
+        """The n-qubit identity operator."""
+        return cls(np.zeros(n, dtype=bool), np.zeros(n, dtype=bool), 0)
+
+    @classmethod
+    def from_label(cls, label: str, phase: int = 0) -> "PauliString":
+        """Build from a string like ``"XIZY"`` (qubit 0 first).
+
+        ``phase`` counts additional powers of ``i`` on top of the standard
+        operator named by the label (so ``from_label("Y")`` *is* Pauli Y).
+        """
+        n = len(label)
+        x = np.zeros(n, dtype=bool)
+        z = np.zeros(n, dtype=bool)
+        extra = 0
+        for q, letter in enumerate(label.upper()):
+            if letter not in _LABEL_TO_XZ:
+                raise ValueError(f"bad Pauli letter {letter!r}")
+            x[q], z[q] = _LABEL_TO_XZ[letter]
+            extra += _LABEL_PHASE[letter]
+        return cls(x, z, phase + extra)
+
+    @classmethod
+    def single(cls, n: int, qubit: int, letter: str, phase: int = 0) -> "PauliString":
+        """A single-qubit Pauli ``letter`` acting on ``qubit`` of ``n``."""
+        p = cls.identity(n)
+        xq, zq = _LABEL_TO_XZ[letter.upper()]
+        p.x[qubit] = xq
+        p.z[qubit] = zq
+        p.phase = (phase + _LABEL_PHASE[letter.upper()]) % 4
+        return p
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self.x)
+
+    @property
+    def weight(self) -> int:
+        """Number of qubits on which the operator is not identity."""
+        return int(np.count_nonzero(self.x | self.z))
+
+    def is_identity(self) -> bool:
+        """True when the operator is the identity (any scalar ignored)."""
+        return not (self.x.any() or self.z.any())
+
+    def label(self) -> str:
+        """Letter representation (without the scalar prefix)."""
+        return "".join(
+            _XZ_TO_LABEL[(int(xq), int(zq))] for xq, zq in zip(self.x, self.z)
+        )
+
+    def scalar(self) -> complex:
+        """The scalar prefix relative to the plain letter product.
+
+        ``P == scalar() * Pauli(label())`` where ``Pauli`` multiplies the
+        standard matrices named by the letters.
+        """
+        y_count = int(np.count_nonzero(self.x & self.z))
+        return 1j ** ((self.phase - y_count) % 4)
+
+    def copy(self) -> "PauliString":
+        return PauliString(self.x, self.z, self.phase)
+
+    # -- algebra -----------------------------------------------------------
+
+    def __mul__(self, other: "PauliString") -> "PauliString":
+        if self.n != other.n:
+            raise ValueError("Pauli strings act on different qubit counts")
+        # Z^z1 X^x2 = (-1)^{z1.x2} X^x2 Z^z1
+        swaps = int(np.count_nonzero(self.z & other.x))
+        phase = (self.phase + other.phase + 2 * swaps) % 4
+        return PauliString(self.x ^ other.x, self.z ^ other.z, phase)
+
+    def commutes(self, other: "PauliString") -> bool:
+        """True when the two operators commute."""
+        sym = int(np.count_nonzero(self.x & other.z)) + int(
+            np.count_nonzero(self.z & other.x)
+        )
+        return sym % 2 == 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        return (
+            self.phase == other.phase
+            and np.array_equal(self.x, other.x)
+            and np.array_equal(self.z, other.z)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.phase, self.x.tobytes(), self.z.tobytes()))
+
+    def __repr__(self) -> str:
+        prefix = {0: "+", 1: "+i*", 2: "-", 3: "-i*"}[self.phase % 4]
+        return f"PauliString({prefix}{''.join('XZ'[int(zq)] if xq ^ zq else ('Y' if xq else 'I') for xq, zq in zip(self.x, self.z))})"
+
+    # -- dense form (tests / small systems) --------------------------------
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense ``2^n x 2^n`` matrix (qubit 0 is the most significant)."""
+        out = np.array([[self.scalar()]], dtype=complex)
+        for letter in self.label():
+            out = np.kron(out, _PAULI_MATRICES[letter])
+        return out
+
+    # -- evaluation on basis states ----------------------------------------
+
+    def apply_to_bits(self, bits: np.ndarray) -> tuple[int, np.ndarray]:
+        """Apply to a computational basis state ``|bits>``.
+
+        Returns ``(k, new_bits)`` with ``P |bits> = i**k |new_bits>``.
+        """
+        bits = np.asarray(bits, dtype=bool)
+        # X^x Z^z |b> = (-1)^{z.b} |b ^ x>
+        k = (self.phase + 2 * int(np.count_nonzero(self.z & bits))) % 4
+        return k, bits ^ self.x
+
+
+def _conjugate_by_table_gate(
+    pauli: PauliString, name: str, qubits: Sequence[int]
+) -> PauliString:
+    table = _IMAGE_TABLE[name]
+    n = pauli.n
+    result = PauliString.identity(n)
+    result.phase = pauli.phase
+    # Factor the Pauli as prod_q X_q^{x_q} * prod_q Z_q^{z_q}; per-qubit X
+    # and Z factors on distinct qubits commute, and this ordering is
+    # equivalent to the per-qubit (X then Z) convention because moving all
+    # X's left past Z's of *other* qubits incurs no sign.
+    gate_qubits = list(qubits)
+    position = {q: i for i, q in enumerate(gate_qubits)}
+    for kind, vec in (("X", pauli.x), ("Z", pauli.z)):
+        for q in np.flatnonzero(vec):
+            q = int(q)
+            if q in position:
+                phase, factors = table[(position[q], kind)]
+                image = PauliString.identity(n)
+                image.phase = phase
+                for wire, letter in factors:
+                    image = image * PauliString.single(n, gate_qubits[wire], letter)
+            else:
+                image = PauliString.single(n, q, kind)
+            result = result * image
+    return result
+
+
+def conjugate_pauli(
+    pauli: PauliString, name: str, qubits: Sequence[int]
+) -> PauliString:
+    """Return ``U P U^dagger`` for the named Clifford gate ``U``.
+
+    Supported names: H, S, SDG, X, Y, Z, SX, SXDG, SY, SYDG, CX, CY, CZ,
+    SWAP.  ``qubits`` gives the absolute qubit indices the gate acts on.
+    """
+    if name in _IMAGE_TABLE:
+        return _conjugate_by_table_gate(pauli, name, qubits)
+    if name in _COMPOSED:
+        result = pauli
+        for sub_name, wires in _COMPOSED[name]:
+            sub_qubits = [qubits[w] for w in wires]
+            result = _conjugate_by_table_gate(result, sub_name, sub_qubits)
+        return result
+    raise ValueError(f"no conjugation rule for gate {name!r}")

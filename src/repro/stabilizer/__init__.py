@@ -1,0 +1,15 @@
+"""Stabilizer (Clifford) simulation: tableau, noise, frames, facade."""
+
+from repro.stabilizer.frames import FrameSampler
+from repro.stabilizer.noise import NoiseModel, PauliChannel
+from repro.stabilizer.simulator import StabilizerSimulator
+from repro.stabilizer.tableau import AffineOutcomeDistribution, Tableau
+
+__all__ = [
+    "Tableau",
+    "AffineOutcomeDistribution",
+    "StabilizerSimulator",
+    "PauliChannel",
+    "NoiseModel",
+    "FrameSampler",
+]

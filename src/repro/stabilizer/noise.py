@@ -1,0 +1,125 @@
+"""Pauli noise channels and noise models.
+
+Stabilizer simulation supports exactly the noise Stim supports: *Pauli
+channels* — probabilistic Pauli operations interspersed through a circuit
+(paper §III-A).  Richer noise (amplitude damping, overrotation) is what the
+paper's circuit-cutting approach enables via non-Clifford gates; here the
+channels feed the Pauli-frame sampler in :mod:`repro.stabilizer.frames`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PauliChannel:
+    """A probabilistic mixture of Pauli operators on ``num_qubits`` qubits.
+
+    Terms are ``(probability, label)`` with labels like ``"X"`` or ``"XZ"``;
+    an implicit identity term absorbs the remaining probability mass.
+    """
+
+    def __init__(self, num_qubits: int, terms: list[tuple[float, str]]):
+        self.num_qubits = int(num_qubits)
+        total = 0.0
+        self.terms: list[tuple[float, str]] = []
+        for prob, label in terms:
+            if prob < 0:
+                raise ValueError("negative probability")
+            if len(label) != self.num_qubits:
+                raise ValueError(f"label {label!r} has wrong width")
+            if set(label.upper()) - set("IXYZ"):
+                raise ValueError(f"bad Pauli label {label!r}")
+            if label.upper() == "I" * self.num_qubits:
+                continue
+            total += prob
+            self.terms.append((float(prob), label.upper()))
+        if total > 1.0 + 1e-12:
+            raise ValueError("probabilities exceed 1")
+        self.identity_probability = max(0.0, 1.0 - total)
+
+    @classmethod
+    def bit_flip(cls, p: float) -> "PauliChannel":
+        return cls(1, [(p, "X")])
+
+    @classmethod
+    def phase_flip(cls, p: float) -> "PauliChannel":
+        return cls(1, [(p, "Z")])
+
+    @classmethod
+    def depolarizing(cls, p: float) -> "PauliChannel":
+        return cls(1, [(p / 3, "X"), (p / 3, "Y"), (p / 3, "Z")])
+
+    @classmethod
+    def depolarizing2(cls, p: float) -> "PauliChannel":
+        labels = [
+            a + b for a in "IXYZ" for b in "IXYZ" if a + b != "II"
+        ]
+        return cls(2, [(p / 15, label) for label in labels])
+
+    def sample_indices(
+        self, shots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-shot term index; -1 means identity."""
+        probs = [self.identity_probability] + [p for p, _ in self.terms]
+        choices = rng.choice(len(probs), size=shots, p=np.array(probs) / sum(probs))
+        return choices - 1
+
+    def xz_masks(self) -> tuple[np.ndarray, np.ndarray]:
+        """(terms, num_qubits) boolean X and Z components per term."""
+        k = len(self.terms)
+        xm = np.zeros((k, self.num_qubits), dtype=bool)
+        zm = np.zeros((k, self.num_qubits), dtype=bool)
+        for i, (_, label) in enumerate(self.terms):
+            for q, letter in enumerate(label):
+                if letter in "XY":
+                    xm[i, q] = True
+                if letter in "ZY":
+                    zm[i, q] = True
+        return xm, zm
+
+    def __repr__(self) -> str:
+        return f"PauliChannel({self.num_qubits}q, {self.terms})"
+
+
+class NoiseModel:
+    """Circuit-level noise: channels attached after gates and before measurement.
+
+    * ``after_gate_1q`` / ``after_gate_2q`` — applied on the qubits of every
+      one-/two-qubit gate;
+    * ``before_measure`` — applied on every measured qubit at the end
+      (models readout error as an X channel).
+    """
+
+    def __init__(
+        self,
+        after_gate_1q: PauliChannel | None = None,
+        after_gate_2q: PauliChannel | None = None,
+        before_measure: PauliChannel | None = None,
+    ):
+        if after_gate_1q and after_gate_1q.num_qubits != 1:
+            raise ValueError("after_gate_1q must be a 1-qubit channel")
+        if after_gate_2q and after_gate_2q.num_qubits != 2:
+            raise ValueError("after_gate_2q must be a 2-qubit channel")
+        if before_measure and before_measure.num_qubits != 1:
+            raise ValueError("before_measure must be a 1-qubit channel")
+        self.after_gate_1q = after_gate_1q
+        self.after_gate_2q = after_gate_2q
+        self.before_measure = before_measure
+
+    def locations(self, circuit) -> list[tuple[int, PauliChannel, tuple[int, ...]]]:
+        """Noise sites as ``(after_op_index, channel, qubits)``.
+
+        ``after_op_index = i`` applies after the i-th operation; the index
+        ``len(circuit)`` marks pre-measurement noise.
+        """
+        sites: list[tuple[int, PauliChannel, tuple[int, ...]]] = []
+        for i, op in enumerate(circuit.ops):
+            if len(op.qubits) == 1 and self.after_gate_1q:
+                sites.append((i, self.after_gate_1q, op.qubits))
+            elif len(op.qubits) == 2 and self.after_gate_2q:
+                sites.append((i, self.after_gate_2q, op.qubits))
+        if self.before_measure:
+            for q in circuit.measured_qubits:
+                sites.append((len(circuit.ops), self.before_measure, (q,)))
+        return sites

@@ -1,0 +1,64 @@
+"""High-level stabilizer simulator facade (the framework's Stim)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.distributions import Distribution
+from repro.circuits.circuit import Circuit
+from repro.paulis.pauli import PauliString
+from repro.stabilizer.frames import FrameSampler
+from repro.stabilizer.noise import NoiseModel
+from repro.stabilizer.tableau import AffineOutcomeDistribution, Tableau
+
+
+class StabilizerSimulator:
+    """Clifford-circuit simulation with Stim-like capabilities.
+
+    * exact output distributions (affine-subspace form, any width),
+    * fast multi-shot sampling,
+    * exact Pauli expectations in {-1, 0, +1},
+    * Pauli-frame noisy sampling.
+    """
+
+    name = "stabilizer"
+
+    def run(self, circuit: Circuit) -> Tableau:
+        """Evolve |0...0> through the circuit; returns the final tableau."""
+        tableau = Tableau(circuit.n_qubits)
+        tableau.apply_circuit(circuit)
+        return tableau
+
+    def affine_distribution(self, circuit: Circuit) -> AffineOutcomeDistribution:
+        """Exact outcome distribution in affine-subspace form.
+
+        Works at any width — this is what lets the framework evaluate
+        Clifford fragments with hundreds of qubits exactly.
+        """
+        return self.run(circuit).measurement_distribution(circuit.measured_qubits)
+
+    def probabilities(self, circuit: Circuit, max_free: int = 20) -> Distribution:
+        """Exact enumerated distribution (support must be <= 2**max_free)."""
+        return self.affine_distribution(circuit).to_distribution(max_free)
+
+    def sample(
+        self,
+        circuit: Circuit,
+        shots: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> Distribution:
+        return self.affine_distribution(circuit).sample(shots, rng)
+
+    def expectation(self, circuit: Circuit, pauli: PauliString) -> int:
+        """Exact <P> of the final state: -1, 0, or +1 (paper §IX)."""
+        return self.run(circuit).expectation(pauli)
+
+    def sample_noisy(
+        self,
+        circuit: Circuit,
+        noise: NoiseModel,
+        shots: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> Distribution:
+        """Noisy sampling via Pauli-frame propagation."""
+        return FrameSampler(circuit, noise).sample(shots, rng)

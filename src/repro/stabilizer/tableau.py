@@ -1,0 +1,472 @@
+"""Aaronson–Gottesman stabilizer tableau simulation.
+
+The tableau tracks ``2n`` generator rows (destabilizers then stabilizers),
+each a Hermitian Pauli stored as ``(-1)^sign * i^(x.z) * X^x Z^z`` — i.e. the
+plain letter product with a sign bit.  All gate updates are vectorised over
+rows, giving the ``O(n)`` per-gate / ``O(n^2)`` per-measurement scaling that
+makes Clifford simulation tractable at hundreds of qubits (the property the
+paper borrows from Stim).
+
+Measurement supports a *symbolic* mode: each random measurement outcome
+introduces a fresh symbolic bit and subsequent signs are tracked as affine
+functions of those bits.  Measuring every output qubit symbolically yields
+the exact outcome distribution as an affine subspace of ``F_2^m`` (see
+:class:`AffineOutcomeDistribution`), from which sampling is O(1)-ish per
+shot and exact probabilities are available without re-running the tableau.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.distributions import Distribution
+from repro.circuits.circuit import Circuit
+from repro.paulis.pauli import PauliString
+
+
+class AffineOutcomeDistribution:
+    """Uniform distribution over ``{A f + b : f in F_2^k}`` (bits XOR).
+
+    ``m = A.shape[0]`` measured bits; ``k = A.shape[1]`` free (random) bits.
+    The map ``f -> A f + b`` is injective by construction (every free bit is
+    itself one of the output coordinates), so every outcome in the support
+    has probability exactly ``2^-k``.
+    """
+
+    def __init__(self, A: np.ndarray, b: np.ndarray):
+        self.A = np.asarray(A, dtype=bool)
+        self.b = np.asarray(b, dtype=bool)
+        if self.A.shape[0] != self.b.shape[0]:
+            raise ValueError("A and b disagree on the number of output bits")
+
+    @property
+    def n_bits(self) -> int:
+        return len(self.b)
+
+    @property
+    def n_free(self) -> int:
+        return self.A.shape[1]
+
+    def outcomes_for(self, f: np.ndarray) -> np.ndarray:
+        """Batch-evaluate ``A f + b``; ``f`` has shape (shots, k)."""
+        f = np.asarray(f, dtype=bool)
+        return (f @ self.A.T.astype(np.uint8) % 2).astype(bool) ^ self.b
+
+    def sample_bits(
+        self, shots: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """(shots, m) array of outcome bits."""
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        f = rng.integers(0, 2, size=(shots, self.n_free), dtype=np.uint8).astype(bool)
+        return self.outcomes_for(f)
+
+    def sample(
+        self, shots: int, rng: np.random.Generator | int | None = None
+    ) -> Distribution:
+        bits = self.sample_bits(shots, rng)
+        weights = 1 << np.arange(self.n_bits - 1, -1, -1, dtype=object)
+        counts: dict[int, int] = {}
+        for row in bits:
+            key = int(sum(w for w, bit in zip(weights, row) if bit))
+            counts[key] = counts.get(key, 0) + 1
+        return Distribution.from_counts(self.n_bits, counts)
+
+    def to_distribution(self, max_free: int = 20) -> Distribution:
+        """Exact distribution by enumerating the ``2^k`` support points."""
+        k = self.n_free
+        if k > max_free:
+            raise ValueError(f"support of 2^{k} outcomes is too large to enumerate")
+        probs: dict[int, float] = {}
+        p = 2.0**-k
+        for mask in range(2**k):
+            f = np.array([(mask >> (k - 1 - i)) & 1 for i in range(k)], dtype=bool)
+            outcome_bits = (self.A @ f) ^ self.b if k else self.b
+            key = 0
+            for bit in outcome_bits:
+                key = (key << 1) | int(bit)
+            probs[key] = probs.get(key, 0.0) + p
+        return Distribution(self.n_bits, probs)
+
+    def probability_of(self, outcome_bits: np.ndarray) -> float:
+        """Exact probability of one outcome (0 or ``2^-k``)."""
+        target = np.asarray(outcome_bits, dtype=bool) ^ self.b
+        # solve A f = target over GF(2)
+        A = self.A.astype(np.uint8).copy()
+        t = target.astype(np.uint8).copy()
+        m, k = A.shape
+        row = 0
+        for col in range(k):
+            pivots = np.flatnonzero(A[row:, col]) + row
+            if len(pivots) == 0:
+                continue
+            p = pivots[0]
+            A[[row, p]] = A[[p, row]]
+            t[[row, p]] = t[[p, row]]
+            mask = A[:, col].astype(bool).copy()
+            mask[row] = False
+            A[mask] ^= A[row]
+            t[mask] ^= t[row]
+            row += 1
+            if row == m:
+                break
+        # consistency: rows of A that are all-zero must have t == 0
+        zero_rows = ~A.any(axis=1)
+        if t[zero_rows].any():
+            return 0.0
+        return 2.0 ** -self.n_free
+
+    def marginal_distribution(self, rows: list[int]) -> Distribution:
+        """Exact marginal over the selected output bits (in the given order).
+
+        The projection of a uniform affine distribution onto a subset of
+        coordinates is again uniform over an affine subspace (linear maps
+        have equal-size fibers), so only ``2^rank`` outcomes need
+        enumerating — independent of the number of free bits.
+        """
+        sub_a = self.A[rows].astype(np.uint8)
+        sub_b = self.b[rows]
+        m = len(rows)
+        # column-reduce to a basis of the column space
+        basis: list[np.ndarray] = []
+        work = sub_a.T.copy()  # rows of `work` are columns of sub_a
+        pivot_cols: list[int] = []
+        for row in work:
+            r = row.copy()
+            for piv, col in zip(basis, pivot_cols):
+                if r[col]:
+                    r ^= piv
+            nz = np.flatnonzero(r)
+            if len(nz):
+                basis.append(r)
+                pivot_cols.append(int(nz[0]))
+        rank = len(basis)
+        if rank > 24:
+            raise ValueError(f"marginal support 2^{rank} is too large")
+        probs: dict[int, float] = {}
+        p = 2.0**-rank
+        for mask in range(2**rank):
+            bits = sub_b.astype(np.uint8).copy()
+            for i in range(rank):
+                if (mask >> i) & 1:
+                    bits ^= basis[i]
+            key = 0
+            for bit in bits:
+                key = (key << 1) | int(bit)
+            probs[key] = probs.get(key, 0.0) + p
+        return Distribution(m, probs)
+
+    def probability_of_partial(self, rows: list[int], bits) -> float:
+        """Probability that the selected output bits take the given values.
+
+        Cost is one GF(2) elimination over the selected rows — independent
+        of the total number of outcomes, which is what makes strong
+        simulation of wide Clifford fragments cheap.
+        """
+        sub_a = self.A[rows].astype(np.uint8)
+        target = (np.asarray(bits, dtype=bool) ^ self.b[rows]).astype(np.uint8)
+        m = len(rows)
+        rank = 0
+        row_i = 0
+        a = sub_a.copy()
+        t = target.copy()
+        for col in range(a.shape[1]):
+            pivots = np.flatnonzero(a[row_i:, col]) + row_i
+            if len(pivots) == 0:
+                continue
+            p = int(pivots[0])
+            a[[row_i, p]] = a[[p, row_i]]
+            t[[row_i, p]] = t[[p, row_i]]
+            mask = a[:, col].astype(bool).copy()
+            mask[row_i] = False
+            a[mask] ^= a[row_i]
+            t[mask] ^= t[row_i]
+            rank += 1
+            row_i += 1
+            if row_i == m:
+                break
+        zero_rows = ~a.any(axis=1)
+        if t[zero_rows].any():
+            return 0.0
+        return 2.0**-rank
+
+    def single_bit_marginals(self) -> np.ndarray:
+        """(m, 2) per-bit marginals: 50/50 where A has support, else point."""
+        out = np.zeros((self.n_bits, 2))
+        random_bits = self.A.any(axis=1)
+        out[random_bits] = 0.5
+        fixed = ~random_bits
+        out[fixed, self.b[fixed].astype(int)] = 1.0
+        return out
+
+
+class Tableau:
+    """Stabilizer state of ``n`` qubits in the Aaronson–Gottesman form."""
+
+    def __init__(self, n: int, max_symbols: int = 0):
+        self.n = int(n)
+        rows = 2 * self.n
+        self.x = np.zeros((rows, self.n), dtype=bool)
+        self.z = np.zeros((rows, self.n), dtype=bool)
+        self.sign = np.zeros(rows, dtype=bool)
+        # symbolic sign bits: sign of row i also includes (-1)^(sym[i] . f)
+        self.sym = np.zeros((rows, max_symbols), dtype=bool)
+        self.n_symbols = 0
+        # destabilizer i = X_i ; stabilizer i = Z_i
+        self.x[np.arange(self.n), np.arange(self.n)] = True
+        self.z[self.n + np.arange(self.n), np.arange(self.n)] = True
+
+    def copy(self) -> "Tableau":
+        out = Tableau.__new__(Tableau)
+        out.n = self.n
+        out.x = self.x.copy()
+        out.z = self.z.copy()
+        out.sign = self.sign.copy()
+        out.sym = self.sym.copy()
+        out.n_symbols = self.n_symbols
+        return out
+
+    # -- gates ----------------------------------------------------------------
+
+    def h(self, q: int) -> None:
+        self.sign ^= self.x[:, q] & self.z[:, q]
+        self.x[:, q], self.z[:, q] = self.z[:, q].copy(), self.x[:, q].copy()
+
+    def s(self, q: int) -> None:
+        self.sign ^= self.x[:, q] & self.z[:, q]
+        self.z[:, q] ^= self.x[:, q]
+
+    def cx(self, c: int, t: int) -> None:
+        self.sign ^= (
+            self.x[:, c] & self.z[:, t] & (self.x[:, t] ^ self.z[:, c] ^ True)
+        )
+        self.x[:, t] ^= self.x[:, c]
+        self.z[:, c] ^= self.z[:, t]
+
+    def x_gate(self, q: int) -> None:
+        self.sign ^= self.z[:, q]
+
+    def z_gate(self, q: int) -> None:
+        self.sign ^= self.x[:, q]
+
+    def apply_operation(self, gate, qubits: tuple[int, ...]) -> None:
+        name = gate.name
+        if name == "X":
+            self.x_gate(qubits[0])
+        elif name == "Z":
+            self.z_gate(qubits[0])
+        elif name == "H":
+            self.h(qubits[0])
+        elif name == "S":
+            self.s(qubits[0])
+        elif name == "CX":
+            self.cx(*qubits)
+        else:
+            for sub_name, wires in gate.stabilizer_decomposition():
+                sub_qubits = tuple(qubits[w] for w in wires)
+                if sub_name == "H":
+                    self.h(sub_qubits[0])
+                elif sub_name == "S":
+                    self.s(sub_qubits[0])
+                else:
+                    self.cx(*sub_qubits)
+
+    def apply_circuit(self, circuit: Circuit) -> None:
+        if circuit.n_qubits != self.n:
+            raise ValueError("circuit width does not match tableau")
+        for op in circuit.ops:
+            if not op.gate.is_clifford:
+                raise ValueError(
+                    f"non-Clifford gate {op.gate!r} cannot run on the tableau "
+                    "simulator"
+                )
+            self.apply_operation(op.gate, op.qubits)
+
+    # -- row products -----------------------------------------------------------
+
+    def _multiply_rows_into(self, targets: np.ndarray, source: int) -> None:
+        """Row_t <- Row_s * Row_t for every t in ``targets`` (vectorised).
+
+        Phases: with rows R = (-1)^s i^(x.z) X^x Z^z, the product phase
+        exponent (power of i) is
+            t = x1.z1 + x2.z2 + 2*(z1.x2) + 2*s1 + 2*s2
+        and the result sign is (t - x12.z12)/2 mod 2.  For stabilizer-group
+        products the difference is always even; destabilizer rows may pick
+        up an irrelevant half-phase which we truncate (their signs are never
+        read).
+        """
+        if len(targets) == 0:
+            return
+        x1, z1 = self.x[source], self.z[source]
+        x2, z2 = self.x[targets], self.z[targets]
+        c1 = int(np.count_nonzero(x1 & z1))
+        c2 = (x2 & z2).sum(axis=1)
+        cross = (z1[None, :] & x2).sum(axis=1)
+        new_x = x2 ^ x1[None, :]
+        new_z = z2 ^ z1[None, :]
+        c12 = (new_x & new_z).sum(axis=1)
+        total = c1 + c2 + 2 * cross
+        half = ((total - c12) % 4) >= 2
+        self.sign[targets] = self.sign[targets] ^ self.sign[source] ^ half
+        self.sym[targets] ^= self.sym[source][None, :]
+        self.x[targets] = new_x
+        self.z[targets] = new_z
+
+    # -- measurement -----------------------------------------------------------
+
+    def _grow_symbols(self) -> int:
+        if self.n_symbols == self.sym.shape[1]:
+            extra = np.zeros((2 * self.n, max(8, self.sym.shape[1])), dtype=bool)
+            self.sym = np.concatenate([self.sym, extra], axis=1)
+        index = self.n_symbols
+        self.n_symbols += 1
+        return index
+
+    def measure(
+        self, q: int, rng: np.random.Generator | int | None = None
+    ) -> int:
+        """Measure qubit ``q`` in the Z basis, collapsing the state."""
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        result = self._measure_impl(q, symbolic=False, rng=rng)
+        return result
+
+    def measure_symbolic(self, q: int) -> tuple[np.ndarray, bool]:
+        """Measure qubit ``q`` symbolically.
+
+        Returns ``(coeffs, const)``: the outcome equals
+        ``coeffs . f XOR const`` over the symbolic free bits ``f``.  For a
+        deterministic outcome ``coeffs`` may be all-zero; for a random one a
+        fresh symbol is allocated.
+        """
+        return self._measure_impl(q, symbolic=True, rng=None)
+
+    def _measure_impl(self, q, symbolic, rng):
+        stab = slice(self.n, 2 * self.n)
+        anticommuting = np.flatnonzero(self.x[stab, q]) + self.n
+        if len(anticommuting) > 0:
+            p = int(anticommuting[0])
+            others = np.flatnonzero(self.x[:, q])
+            others = others[others != p]
+            self._multiply_rows_into(others, p)
+            # destabilizer p-n <- old stabilizer p ; stabilizer p <- +/- Z_q
+            d = p - self.n
+            self.x[d] = self.x[p]
+            self.z[d] = self.z[p]
+            self.sign[d] = self.sign[p]
+            self.sym[d] = self.sym[p]
+            self.x[p] = False
+            self.z[p] = False
+            self.z[p, q] = True
+            self.sym[p] = False
+            if symbolic:
+                k = self._grow_symbols()
+                self.sign[p] = False
+                self.sym[p, k] = True
+                coeffs = np.zeros(self.n_symbols, dtype=bool)
+                coeffs[k] = True
+                return coeffs, False
+            outcome = int(rng.integers(2))
+            self.sign[p] = bool(outcome)
+            return outcome
+        # deterministic: accumulate product of stabilizers indicated by
+        # destabilizers that anticommute with Z_q
+        rows = np.flatnonzero(self.x[: self.n, q]) + self.n
+        acc_x = np.zeros(self.n, dtype=bool)
+        acc_z = np.zeros(self.n, dtype=bool)
+        acc_phase = 0  # power of i
+        acc_sign = False
+        acc_sym = np.zeros(self.sym.shape[1], dtype=bool)
+        for r in rows:
+            x2, z2 = self.x[r], self.z[r]
+            cross = int(np.count_nonzero(acc_z & x2))
+            acc_phase += int(np.count_nonzero(x2 & z2)) + 2 * cross
+            acc_sign ^= bool(self.sign[r])
+            acc_sym ^= self.sym[r]
+            acc_x ^= x2
+            acc_z ^= z2
+        # the accumulated operator must be +/- Z_q
+        c12 = int(np.count_nonzero(acc_x & acc_z))
+        half = ((acc_phase - c12) % 4) >= 2
+        sign = acc_sign ^ half
+        if symbolic:
+            coeffs = acc_sym[: self.n_symbols].copy()
+            return coeffs, bool(sign)
+        if acc_sym[: self.n_symbols].any():  # pragma: no cover - defensive
+            raise RuntimeError("deterministic outcome depends on unresolved symbols")
+        return int(sign)
+
+    def measurement_distribution(
+        self, qubits: tuple[int, ...]
+    ) -> AffineOutcomeDistribution:
+        """Exact Z-basis outcome distribution over ``qubits``.
+
+        Collapses this tableau (work on a copy if it is still needed).
+        """
+        self.n_symbols = 0
+        self.sym = np.zeros((2 * self.n, max(8, len(qubits))), dtype=bool)
+        rows = []
+        consts = []
+        for q in qubits:
+            coeffs, const = self.measure_symbolic(q)
+            rows.append(coeffs)
+            consts.append(const)
+        k = self.n_symbols
+        A = np.zeros((len(qubits), k), dtype=bool)
+        for i, coeffs in enumerate(rows):
+            A[i, : len(coeffs)] = coeffs
+        return AffineOutcomeDistribution(A, np.array(consts, dtype=bool))
+
+    # -- observables ------------------------------------------------------------
+
+    def expectation(self, pauli: PauliString) -> int:
+        """Exact ``<P>`` of the stabilizer state: always -1, 0, or +1.
+
+        This is the structural fact exploited by the paper's Section IX
+        optimizations.
+        """
+        if pauli.n != self.n:
+            raise ValueError("Pauli width does not match tableau")
+        if self.n_symbols:
+            raise ValueError("expectation undefined after symbolic collapse")
+        stab_x = self.x[self.n :]
+        stab_z = self.z[self.n :]
+        # anticommutation of P with each stabilizer generator
+        anti = (
+            (stab_x & pauli.z[None, :]).sum(axis=1)
+            + (stab_z & pauli.x[None, :]).sum(axis=1)
+        ) % 2
+        if anti.any():
+            return 0
+        # P (up to sign) = product of stabilizers s_i over rows whose
+        # destabilizer anticommutes with P
+        destab_x = self.x[: self.n]
+        destab_z = self.z[: self.n]
+        select = (
+            (destab_x & pauli.z[None, :]).sum(axis=1)
+            + (destab_z & pauli.x[None, :]).sum(axis=1)
+        ) % 2
+        product = PauliString.identity(self.n)
+        for i in np.flatnonzero(select):
+            row = self.n + i
+            product = product * self._row_pauli(row)
+        if not (
+            np.array_equal(product.x, pauli.x) and np.array_equal(product.z, pauli.z)
+        ):
+            raise AssertionError("stabilizer reconstruction failed")
+        diff = (pauli.phase - product.phase) % 4
+        if diff == 0:
+            return 1
+        if diff == 2:
+            return -1
+        raise ValueError("expectation of a non-Hermitian Pauli is not +/-1")
+
+    def _row_pauli(self, row: int) -> PauliString:
+        c = int(np.count_nonzero(self.x[row] & self.z[row]))
+        phase = (c + 2 * int(self.sign[row])) % 4
+        return PauliString(self.x[row], self.z[row], phase)
+
+    def stabilizers(self) -> list[PauliString]:
+        """The n stabilizer generators as phase-correct Pauli strings."""
+        return [self._row_pauli(self.n + i) for i in range(self.n)]
+
+    def destabilizers(self) -> list[PauliString]:
+        return [self._row_pauli(i) for i in range(self.n)]

@@ -1,0 +1,5 @@
+"""Exact dense statevector simulation (the paper's SV baseline)."""
+
+from repro.statevector.simulator import StatevectorSimulator
+
+__all__ = ["StatevectorSimulator"]

@@ -1,0 +1,135 @@
+"""Tests for the HWEA and QAOA benchmark generators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import hellinger_fidelity
+from repro.apps.hwea import HWEA
+from repro.apps.qaoa import (
+    clifford_qaoa_circuit,
+    expected_cut,
+    maxcut_value,
+    near_clifford_qaoa,
+    qaoa_circuit,
+    sk_model,
+)
+from repro.core import SuperSim
+from repro.statevector import StatevectorSimulator
+
+SV = StatevectorSimulator()
+
+
+class TestHWEA:
+    def test_parameter_count(self):
+        assert HWEA(4, 5).num_parameters == 5 * 4 * 4
+
+    def test_wrong_parameter_count(self):
+        with pytest.raises(ValueError):
+            HWEA(2, 1).circuit([0.5])
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            HWEA(0, 1)
+
+    def test_clifford_instance_is_clifford(self):
+        ansatz = HWEA(4, 3)
+        circuit = ansatz.random_clifford_instance(rng=0)
+        assert circuit.is_clifford
+        assert circuit.n_qubits == 4
+
+    def test_entangler_structure(self):
+        ansatz = HWEA(3, 1)
+        circuit = ansatz.clifford_circuit(np.zeros(12, dtype=int))
+        # all-zero parameters leave only the CX ladder
+        assert [op.gate.name for op in circuit] == ["CX", "CX"]
+
+    def test_near_clifford_instance(self):
+        circuit = HWEA(4, 2).near_clifford_instance(num_t=1, rng=1)
+        assert circuit.num_non_clifford == 1
+
+    def test_generic_parameters_not_clifford(self):
+        ansatz = HWEA(2, 1)
+        params = np.full(ansatz.num_parameters, 0.3)
+        assert not ansatz.circuit(params).is_clifford
+
+    def test_deterministic_generation(self):
+        a = HWEA(3, 2).near_clifford_instance(1, rng=7)
+        b = HWEA(3, 2).near_clifford_instance(1, rng=7)
+        assert [op.qubits for op in a] == [op.qubits for op in b]
+
+    def test_supersim_matches_statevector_on_hwea(self):
+        circuit = HWEA(4, 2).near_clifford_instance(num_t=1, rng=3)
+        expected = SV.probabilities(circuit)
+        got = SuperSim().run(circuit).distribution
+        assert hellinger_fidelity(expected, got) > 1 - 1e-9
+
+
+class TestSKModel:
+    def test_complete_graph(self):
+        couplings = sk_model(5, rng=0)
+        assert len(couplings) == 10
+        assert set(couplings.values()) <= {-1, 1}
+
+    def test_deterministic(self):
+        assert sk_model(4, rng=1) == sk_model(4, rng=1)
+
+
+class TestQAOACircuit:
+    def test_clifford_at_clifford_points(self):
+        couplings = sk_model(4, rng=0)
+        circuit = clifford_qaoa_circuit(4, couplings, gamma_steps=1, beta_steps=2)
+        assert circuit.is_clifford
+
+    def test_non_clifford_at_generic_angles(self):
+        couplings = sk_model(3, rng=0)
+        circuit = qaoa_circuit(3, couplings, [0.3], [0.7])
+        assert not circuit.is_clifford
+
+    def test_all_to_all_connectivity(self):
+        couplings = sk_model(4, rng=2)
+        circuit = clifford_qaoa_circuit(4, couplings)
+        pairs = {op.qubits for op in circuit if op.gate.num_qubits == 2}
+        assert len(pairs) == 6
+
+    def test_round_count_mismatch(self):
+        with pytest.raises(ValueError):
+            qaoa_circuit(2, sk_model(2, rng=0), [0.1, 0.2], [0.1])
+
+    def test_near_clifford_qaoa(self):
+        circuit = near_clifford_qaoa(5, rounds=1, num_t=1, rng=4)
+        assert circuit.num_non_clifford == 1
+        assert circuit.n_qubits == 5
+
+    def test_supersim_matches_statevector_on_qaoa(self):
+        circuit = near_clifford_qaoa(4, rounds=1, num_t=1, rng=5)
+        expected = SV.probabilities(circuit)
+        got = SuperSim().run(circuit).distribution
+        assert hellinger_fidelity(expected, got) > 1 - 1e-9
+
+
+class TestMaxCut:
+    def test_cut_value(self):
+        couplings = {(0, 1): 1, (1, 2): -1, (0, 2): 1}
+        assert maxcut_value(couplings, [0, 1, 0]) == 1 + (-1)
+        assert maxcut_value(couplings, [0, 0, 0]) == 0
+
+    def test_expected_cut_from_distribution(self):
+        couplings = {(0, 1): 1}
+        from repro.analysis import Distribution
+
+        dist = Distribution(2, {0b01: 0.5, 0b00: 0.5})
+        assert np.isclose(expected_cut(couplings, dist), 0.5)
+
+    def test_qaoa_beats_random_guessing(self):
+        """A tuned Clifford QAOA point should beat the uniform-guess cut."""
+        rng = np.random.default_rng(6)
+        n = 5
+        couplings = sk_model(n, rng)
+        uniform_cut = sum(couplings.values()) / 2
+        best = -np.inf
+        for g in range(1, 4):
+            for b in range(1, 4):
+                circuit = clifford_qaoa_circuit(n, couplings, g, b)
+                dist = SV.probabilities(circuit)
+                best = max(best, expected_cut(couplings, dist))
+        assert best >= uniform_cut - 1e-9

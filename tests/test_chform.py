@@ -1,0 +1,220 @@
+"""Tests for the CH-form phase-sensitive stabilizer state.
+
+The CH form's whole reason to exist is the exact global phase, so these
+tests compare full statevectors amplitude-by-amplitude (no phase freedom)
+against the dense simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chform import CHForm, CTypeTableau
+from repro.circuits import Circuit, gates, random_clifford_circuit
+from repro.statevector import StatevectorSimulator
+
+SV = StatevectorSimulator()
+
+
+def chform_state(circuit: Circuit) -> np.ndarray:
+    state = CHForm(circuit.n_qubits)
+    state.apply_circuit(circuit)
+    return state.to_statevector()
+
+
+def assert_exact(circuit: Circuit):
+    expected = SV.state(circuit)
+    got = chform_state(circuit)
+    assert np.allclose(got, expected, atol=1e-9), circuit.gate_counts()
+
+
+class TestCTypeTableau:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_left_multiplication_matches_matrix(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 3
+        tab = CTypeTableau(n)
+        circuit = Circuit(n)
+        for _ in range(12):
+            choice = rng.integers(4)
+            if choice == 0:
+                q = int(rng.integers(n))
+                tab.left_s(q)
+                circuit.append(gates.S, q)
+            elif choice == 1:
+                q = int(rng.integers(n))
+                tab.left_sdg(q)
+                circuit.append(gates.SDG, q)
+            elif choice == 2:
+                a, b = rng.choice(n, size=2, replace=False)
+                tab.left_cz(int(a), int(b))
+                circuit.append(gates.CZ, int(a), int(b))
+            else:
+                c, t = rng.choice(n, size=2, replace=False)
+                tab.left_cx(int(c), int(t))
+                circuit.append(gates.CX, int(c), int(t))
+        # left multiplication U <- g U matches circuit order (first gate
+        # applied first), so the unitaries agree directly
+        assert np.allclose(tab.to_matrix(), circuit.unitary(), atol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_right_multiplication_matches_matrix(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = 3
+        tab = CTypeTableau(n)
+        circuit = Circuit(n)
+        for _ in range(12):
+            choice = rng.integers(4)
+            if choice == 0:
+                q = int(rng.integers(n))
+                tab.right_s(q)
+                circuit.append(gates.S, q)
+            elif choice == 1:
+                q = int(rng.integers(n))
+                tab.right_sdg(q)
+                circuit.append(gates.SDG, q)
+            elif choice == 2:
+                a, b = rng.choice(n, size=2, replace=False)
+                tab.right_cz(int(a), int(b))
+                circuit.append(gates.CZ, int(a), int(b))
+            else:
+                c, t = rng.choice(n, size=2, replace=False)
+                tab.right_cx(int(c), int(t))
+                circuit.append(gates.CX, int(c), int(t))
+        # circuit order: first-appended acts first, so matrix = later @ earlier;
+        # right-multiplication builds U = g1 g2 ... in operator order too
+        matrix = Circuit(n, circuit.ops[::-1]).unitary()
+        assert np.allclose(tab.to_matrix(), matrix, atol=1e-9)
+
+    def test_mixed_left_right(self):
+        tab = CTypeTableau(2)
+        tab.left_cx(0, 1)   # U = CX
+        tab.right_s(0)      # U = CX . S_0
+        tab.left_cz(0, 1)   # U = CZ . CX . S_0
+        circuit = Circuit(2).append(gates.S, 0).append(gates.CX, 0, 1)
+        circuit.append(gates.CZ, 0, 1)
+        assert np.allclose(tab.to_matrix(), circuit.unitary(), atol=1e-9)
+
+    def test_z_right(self):
+        tab = CTypeTableau(1)
+        tab.right_z(0)
+        assert np.allclose(tab.to_matrix(), np.diag([1, -1]))
+
+
+class TestCHFormBasics:
+    def test_initial_state(self):
+        state = CHForm(2)
+        vec = state.to_statevector()
+        assert np.isclose(vec[0], 1.0)
+        assert np.allclose(vec[1:], 0.0)
+
+    def test_plus_state(self):
+        assert_exact(Circuit(1).append(gates.H, 0))
+
+    def test_double_h_is_identity(self):
+        assert_exact(Circuit(1).append(gates.H, 0).append(gates.H, 0))
+
+    def test_bell(self):
+        assert_exact(Circuit(2).append(gates.H, 0).append(gates.CX, 0, 1))
+
+    def test_s_phase_exact(self):
+        # S|+> = (|0> + i|1>)/sqrt2 with *no* global phase freedom
+        circuit = Circuit(1).append(gates.H, 0).append(gates.S, 0)
+        assert_exact(circuit)
+
+    def test_h_after_s(self):
+        assert_exact(
+            Circuit(1).append(gates.H, 0).append(gates.S, 0).append(gates.H, 0)
+        )
+
+    def test_x_gate(self):
+        assert_exact(Circuit(2).append(gates.X, 1))
+        assert_exact(Circuit(2).append(gates.H, 0).append(gates.X, 0))
+
+    def test_y_gate_phase(self):
+        # Y|0> = i|1> — the global i must be tracked
+        assert_exact(Circuit(1).append(gates.Y, 0))
+
+    def test_z_on_plus(self):
+        assert_exact(Circuit(1).append(gates.H, 0).append(gates.Z, 0))
+
+    def test_swap(self):
+        assert_exact(Circuit(2).append(gates.H, 0).append(gates.SWAP, 0, 1))
+
+    def test_ghz(self):
+        c = Circuit(3).append(gates.H, 0).append(gates.CX, 0, 1).append(gates.CX, 1, 2)
+        assert_exact(c)
+
+    def test_case_b_desuperposition(self):
+        # two H's entangled by CZ then another H: forces the all-Hadamard case
+        c = Circuit(2).append(gates.H, 0).append(gates.H, 1).append(gates.CZ, 0, 1)
+        c.append(gates.H, 0)
+        assert_exact(c)
+
+    def test_case_b_odd_delta(self):
+        c = Circuit(2).append(gates.H, 0).append(gates.H, 1).append(gates.CZ, 0, 1)
+        c.append(gates.S, 0).append(gates.H, 0)
+        assert_exact(c)
+
+    def test_norm_invariant(self):
+        rng = np.random.default_rng(0)
+        circuit = random_clifford_circuit(4, 10, rng)
+        state = CHForm(4)
+        state.apply_circuit(circuit)
+        assert np.isclose(state.norm_squared(), 1.0)
+
+    def test_rejects_non_clifford(self):
+        state = CHForm(1)
+        with pytest.raises(ValueError):
+            state.apply_circuit(Circuit(1).append(gates.T, 0))
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            CHForm(2).apply_circuit(Circuit(3))
+
+
+class TestCHFormRandom:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_clifford_exact_statevector(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        n = int(rng.integers(1, 6))
+        depth = int(rng.integers(1, 12))
+        circuit = random_clifford_circuit(n, depth, rng)
+        assert_exact(circuit)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_h_heavy_circuits(self, seed):
+        # stress the desuperposition paths with many interleaved H gates
+        rng = np.random.default_rng(2000 + seed)
+        n = 4
+        circuit = Circuit(n)
+        for _ in range(30):
+            choice = rng.integers(5)
+            if choice <= 1:
+                circuit.append(gates.H, int(rng.integers(n)))
+            elif choice == 2:
+                circuit.append(gates.S, int(rng.integers(n)))
+            elif choice == 3:
+                a, b = rng.choice(n, size=2, replace=False)
+                circuit.append(gates.CZ, int(a), int(b))
+            else:
+                c, t = rng.choice(n, size=2, replace=False)
+                circuit.append(gates.CX, int(c), int(t))
+        assert_exact(circuit)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_amplitude_queries(self, seed):
+        rng = np.random.default_rng(3000 + seed)
+        circuit = random_clifford_circuit(5, 8, rng)
+        expected = SV.state(circuit)
+        state = CHForm(5)
+        state.apply_circuit(circuit)
+        for index in rng.integers(0, 32, size=8):
+            bits = np.array([(int(index) >> (4 - i)) & 1 for i in range(5)], bool)
+            assert np.isclose(state.amplitude(bits), expected[int(index)], atol=1e-9)
+
+    def test_copy_is_independent(self):
+        state = CHForm(2)
+        state.apply_h(0)
+        clone = state.copy()
+        clone.apply_cx(0, 1)
+        assert not np.allclose(state.to_statevector(), clone.to_statevector())

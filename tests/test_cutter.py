@@ -1,0 +1,159 @@
+"""Tests for cut finding and circuit fragmentation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, gates, inject_t_gates, random_clifford_circuit
+from repro.core import Cut, CutStrategy, cut_circuit, find_cuts
+
+
+def three_fragment_circuit():
+    """H(0) CX(0,1) T(1) CX(1,2) H(2) — T isolated mid-wire on qubit 1."""
+    c = Circuit(3)
+    c.append(gates.H, 0).append(gates.CX, 0, 1)
+    c.append(gates.T, 1)
+    c.append(gates.CX, 1, 2).append(gates.H, 2)
+    return c
+
+
+class TestCutValidation:
+    def test_position_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Cut(0, 0)
+
+    def test_cut_after_last_op_rejected(self):
+        c = Circuit(1).append(gates.H, 0)
+        with pytest.raises(ValueError):
+            cut_circuit(c, [Cut(0, 1)])
+
+    def test_cut_ordering(self):
+        assert Cut(0, 1) < Cut(0, 2) < Cut(1, 1)
+
+
+class TestFindCuts:
+    def test_clifford_circuit_needs_no_cuts(self):
+        c = random_clifford_circuit(4, 5, rng=0)
+        assert find_cuts(c) == []
+
+    def test_mid_wire_t_needs_two_cuts(self):
+        cuts = find_cuts(three_fragment_circuit())
+        assert cuts == [Cut(1, 1), Cut(1, 2)]
+
+    def test_leading_t_needs_one_cut(self):
+        c = Circuit(2)
+        c.append(gates.T, 0)
+        c.append(gates.H, 0).append(gates.CX, 0, 1)
+        cuts = find_cuts(c)
+        assert cuts == [Cut(0, 1)]
+
+    def test_trailing_t_needs_one_cut(self):
+        c = Circuit(2).append(gates.H, 0).append(gates.CX, 0, 1)
+        c.append(gates.T, 0)
+        cuts = find_cuts(c)
+        assert cuts == [Cut(0, 2)]
+
+    def test_lone_t_needs_no_cuts(self):
+        c = Circuit(1).append(gates.T, 0)
+        assert find_cuts(c) == []
+
+    def test_adjacent_ts_share_fragment(self):
+        c = Circuit(1).append(gates.H, 0).append(gates.T, 0)
+        c.append(gates.T, 0).append(gates.H, 0)
+        cuts = find_cuts(c)
+        assert cuts == [Cut(0, 1), Cut(0, 3)]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_cut_bound(self, seed):
+        """Paper bound: cuts <= 2 x (number of non-Clifford gates)."""
+        rng = np.random.default_rng(seed)
+        n_t = int(rng.integers(1, 4))
+        c = inject_t_gates(random_clifford_circuit(5, 5, rng), n_t, rng)
+        assert len(find_cuts(c)) <= 2 * n_t
+
+    def test_two_qubit_non_clifford(self):
+        c = Circuit(2)
+        c.append(gates.H, 0).append(gates.H, 1)
+        c.append(gates.ZZPow(0.25), 0, 1)
+        c.append(gates.H, 0).append(gates.H, 1)
+        cuts = find_cuts(c)
+        assert len(cuts) == 4  # two wires in, two wires out
+
+
+class TestCutCircuit:
+    def test_three_fragments(self):
+        c = three_fragment_circuit()
+        cc = cut_circuit(c, find_cuts(c))
+        assert len(cc.fragments) == 3
+        kinds = sorted((f.n_qubits, f.is_clifford) for f in cc.fragments)
+        assert kinds == [(1, False), (2, True), (2, True)]
+
+    def test_fragment_boundaries(self):
+        c = three_fragment_circuit()
+        cc = cut_circuit(c, find_cuts(c))
+        t_fragment = next(f for f in cc.fragments if not f.is_clifford)
+        assert len(t_fragment.quantum_inputs) == 1
+        assert len(t_fragment.quantum_outputs) == 1
+        assert t_fragment.circuit_inputs == []
+        assert t_fragment.circuit_outputs == []
+        assert t_fragment.num_variants == 12
+
+    def test_upstream_fragment(self):
+        c = three_fragment_circuit()
+        cc = cut_circuit(c, find_cuts(c))
+        upstream = cc.fragments[0]
+        assert upstream.circuit_inputs != []
+        assert len(upstream.quantum_outputs) == 1
+        # qubit 0 ends inside the upstream fragment
+        assert any(oq == 0 for oq, _ in upstream.circuit_outputs)
+
+    def test_ops_preserved(self):
+        c = three_fragment_circuit()
+        cc = cut_circuit(c, find_cuts(c))
+        total_ops = sum(len(f.circuit) for f in cc.fragments)
+        assert total_ops == len(c)
+
+    def test_no_cuts_single_fragment(self):
+        c = random_clifford_circuit(3, 4, rng=1)
+        cc = cut_circuit(c, [])
+        assert len(cc.fragments) == 1
+        assert cc.reconstruction_terms == 1
+
+    def test_idle_qubit_becomes_own_fragment(self):
+        c = Circuit(3).append(gates.H, 0).append(gates.CX, 0, 1)  # qubit 2 idle
+        cc = cut_circuit(c, [])
+        assert len(cc.fragments) == 2
+        idle = [f for f in cc.fragments if len(f.circuit) == 0]
+        assert len(idle) == 1
+        assert idle[0].n_qubits == 1
+
+    def test_fragment_of_output(self):
+        c = three_fragment_circuit()
+        cc = cut_circuit(c, find_cuts(c))
+        fragment, local = cc.fragment_of_output(2)
+        assert (2, local) in fragment.circuit_outputs
+
+    def test_user_specified_cuts(self):
+        c = Circuit(2).append(gates.H, 0).append(gates.CX, 0, 1).append(gates.H, 1)
+        cc = cut_circuit(c, [Cut(1, 1)])
+        assert len(cc.fragments) == 2
+        assert cc.num_cuts == 1
+
+    def test_incident_cuts(self):
+        c = three_fragment_circuit()
+        cc = cut_circuit(c, find_cuts(c))
+        t_fragment = next(f for f in cc.fragments if not f.is_clifford)
+        assert t_fragment.incident_cuts == [0, 1]
+
+
+class TestGreedyMerge:
+    def test_merge_reduces_cuts_on_small_circuits(self):
+        c = three_fragment_circuit()
+        isolate = find_cuts(c, CutStrategy.ISOLATE)
+        merged = find_cuts(c, CutStrategy.GREEDY_MERGE)
+        assert len(merged) <= len(isolate)
+
+    def test_merged_cuts_still_valid(self):
+        c = three_fragment_circuit()
+        merged = find_cuts(c, CutStrategy.GREEDY_MERGE)
+        cc = cut_circuit(c, merged)
+        assert sum(len(f.circuit) for f in cc.fragments) == len(c)

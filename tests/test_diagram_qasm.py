@@ -1,0 +1,98 @@
+"""Tests for text diagrams and OpenQASM export."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, gates, random_near_clifford_circuit
+from repro.circuits.diagram import text_diagram
+from repro.circuits.qasm import to_qasm
+
+
+class TestTextDiagram:
+    def test_bell(self):
+        c = Circuit(2).append(gates.H, 0).append(gates.CX, 0, 1)
+        art = text_diagram(c)
+        lines = art.splitlines()
+        assert lines[0].startswith("0: ")
+        assert "H" in lines[0] and "@" in lines[0]
+        assert "|" in lines[1]
+        assert "X" in lines[2]
+
+    def test_measure_markers(self):
+        c = Circuit(2).append(gates.H, 0).measure([0])
+        art = text_diagram(c)
+        lines = art.splitlines()
+        assert lines[0].rstrip().endswith("M")
+        assert not lines[2].rstrip().endswith("M")
+
+    def test_parameterised_label(self):
+        c = Circuit(1).append(gates.ZPow(0.25), 0)
+        assert "ZP(0.25)" in text_diagram(c)
+
+    def test_swap_symbols(self):
+        c = Circuit(2).append(gates.SWAP, 0, 1)
+        art = text_diagram(c)
+        assert art.count("x") >= 2
+
+    def test_empty_circuit(self):
+        art = text_diagram(Circuit(2))
+        assert "0:" in art and "1:" in art
+
+    def test_column_packing(self):
+        # H(0) and H(1) are parallel: single column
+        c = Circuit(2).append(gates.H, 0).append(gates.H, 1)
+        lines = text_diagram(c).splitlines()
+        assert len(lines[0]) == len(lines[2])
+
+    def test_wide_circuit_renders(self):
+        c = random_near_clifford_circuit(5, 6, 1, rng=0)
+        art = text_diagram(c)
+        assert len(art.splitlines()) == 2 * 5 - 1
+
+
+class TestQasmExport:
+    def test_header_and_registers(self):
+        c = Circuit(3).append(gates.H, 0).measure([0, 2])
+        qasm = to_qasm(c)
+        assert qasm.startswith("OPENQASM 2.0;")
+        assert "qreg q[3];" in qasm
+        assert "creg c[2];" in qasm
+        assert "measure q[0] -> c[0];" in qasm
+        assert "measure q[2] -> c[1];" in qasm
+
+    def test_basic_gates(self):
+        c = Circuit(2)
+        c.append(gates.H, 0).append(gates.S, 1).append(gates.CX, 0, 1)
+        c.append(gates.T, 0).append(gates.SDG, 1)
+        qasm = to_qasm(c)
+        for expected in ("h q[0];", "s q[1];", "cx q[0],q[1];", "t q[0];",
+                         "sdg q[1];"):
+            assert expected in qasm
+
+    def test_rotation_gates(self):
+        c = Circuit(1).append(gates.ZPow(0.25), 0)
+        qasm = to_qasm(c)
+        assert "rz(" in qasm
+
+    def test_zzpow_decomposition(self):
+        c = Circuit(2).append(gates.ZZPow(0.5), 0, 1)
+        qasm = to_qasm(c)
+        assert qasm.count("cx q[0],q[1];") == 2
+        assert "rz(" in qasm
+
+    def test_sxdg_decomposition_is_exact(self):
+        # h sdg h must reproduce the SXDG matrix exactly
+        h, sdg = gates.H.matrix, gates.SDG.matrix
+        assert np.allclose(h @ sdg @ h, gates.SXDG.matrix)
+
+    def test_unknown_gate_rejected(self):
+        weird = gates.Gate("WEIRD", np.eye(2, dtype=complex))
+        c = Circuit(1).append(weird, 0)
+        with pytest.raises(ValueError):
+            to_qasm(c)
+
+    def test_every_random_circuit_exports(self):
+        for seed in range(5):
+            c = random_near_clifford_circuit(4, 5, 1, rng=seed)
+            qasm = to_qasm(c)
+            assert qasm.count("\n") >= len(c)

@@ -1,0 +1,169 @@
+"""Tests for the extended-stabilizer (Clifford+T) simulator."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import hellinger_fidelity
+from repro.circuits import (
+    Circuit,
+    gates,
+    inject_t_gates,
+    random_clifford_circuit,
+    random_near_clifford_circuit,
+)
+from repro.extended_stabilizer import ExtendedStabilizerSimulator, StabilizerSum
+from repro.extended_stabilizer.simulator import (
+    _diagonal_branch_coefficients,
+    _euler_zxz,
+)
+from repro.statevector import StatevectorSimulator
+
+SV = StatevectorSimulator()
+EXT = ExtendedStabilizerSimulator()
+
+
+def sum_state(circuit: Circuit) -> np.ndarray:
+    state = StabilizerSum(circuit.n_qubits)
+    state.apply_circuit(circuit)
+    return state.to_statevector()
+
+
+class TestBranchDecompositions:
+    def test_t_gate_coefficients(self):
+        alpha, beta = _diagonal_branch_coefficients(1.0, cmath.exp(1j * math.pi / 4))
+        # alpha*I + beta*S == T
+        assert np.isclose(alpha + beta, 1.0)
+        assert np.isclose(alpha + 1j * beta, cmath.exp(1j * math.pi / 4))
+
+    @pytest.mark.parametrize("theta", [0.1, 0.25, 0.5, 1.3, -0.7])
+    def test_general_diagonal(self, theta):
+        d0, d1 = cmath.exp(-1j * theta / 2), cmath.exp(1j * theta / 2)
+        alpha, beta = _diagonal_branch_coefficients(d0, d1)
+        reconstructed = np.array([[alpha + beta, 0], [0, alpha + 1j * beta]])
+        assert np.allclose(reconstructed, np.diag([d0, d1]))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_euler_zxz_random_unitaries(self, seed):
+        rng = np.random.default_rng(seed)
+        # random unitary via QR of a Ginibre matrix
+        m = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        q, r = np.linalg.qr(m)
+        u = q @ np.diag(np.diag(r) / np.abs(np.diag(r)))
+        phase, a, b, c = _euler_zxz(u)
+        za = np.diag([1, cmath.exp(1j * math.pi * a)])
+        xb = gates.XPow(b).matrix
+        zc = np.diag([1, cmath.exp(1j * math.pi * c)])
+        assert np.allclose(phase * za @ xb @ zc, u, atol=1e-9), (a, b, c)
+
+    @pytest.mark.parametrize(
+        "gate", [gates.H, gates.X, gates.T, gates.S, gates.ZPow(0.3),
+                 gates.XPow(0.77), gates.YPow(0.2), gates.Rz(1.1)],
+        ids=repr,
+    )
+    def test_euler_zxz_named_gates(self, gate):
+        phase, a, b, c = _euler_zxz(gate.matrix)
+        za = np.diag([1, cmath.exp(1j * math.pi * a)])
+        xb = gates.XPow(b).matrix
+        zc = np.diag([1, cmath.exp(1j * math.pi * c)])
+        assert np.allclose(phase * za @ xb @ zc, gate.matrix, atol=1e-9)
+
+
+class TestStrongSimulation:
+    def test_t_on_plus(self):
+        circuit = Circuit(1).append(gates.H, 0).append(gates.T, 0)
+        assert np.allclose(sum_state(circuit), SV.state(circuit), atol=1e-9)
+
+    def test_rank_doubles_per_t(self):
+        circuit = Circuit(2).append(gates.H, 0).append(gates.T, 0)
+        circuit.append(gates.CX, 0, 1).append(gates.T, 1)
+        state = StabilizerSum(2)
+        state.apply_circuit(circuit)
+        assert state.num_terms == 4
+
+    def test_clifford_keeps_rank_one(self):
+        circuit = random_clifford_circuit(4, 6, rng=0)
+        state = StabilizerSum(4)
+        state.apply_circuit(circuit)
+        assert state.num_terms == 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_near_clifford_statevector(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        circuit = random_near_clifford_circuit(n, 4, num_non_clifford=2, rng=rng)
+        assert np.allclose(sum_state(circuit), SV.state(circuit), atol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_arbitrary_rotation_gates(self, seed):
+        rng = np.random.default_rng(50 + seed)
+        circuit = random_clifford_circuit(3, 3, rng)
+        circuit.append(gates.ZPow(0.3), int(rng.integers(3)))
+        circuit.append(gates.XPow(0.7), int(rng.integers(3)))
+        circuit.append(gates.Rz(0.9), int(rng.integers(3)))
+        assert np.allclose(sum_state(circuit), SV.state(circuit), atol=1e-9)
+
+    def test_non_clifford_zzpow(self):
+        circuit = Circuit(2).append(gates.H, 0).append(gates.H, 1)
+        circuit.append(gates.ZZPow(0.25), 0, 1)
+        assert np.allclose(sum_state(circuit), SV.state(circuit), atol=1e-9)
+
+    def test_probabilities_match_statevector(self):
+        circuit = inject_t_gates(random_clifford_circuit(3, 4, rng=1), 1, rng=2)
+        exact = SV.probabilities(circuit)
+        got = EXT.probabilities(circuit)
+        assert hellinger_fidelity(exact, got) > 1 - 1e-9
+
+    def test_measured_subset(self):
+        circuit = Circuit(2).append(gates.H, 0).append(gates.T, 0)
+        circuit.append(gates.CX, 0, 1).measure([1])
+        exact = SV.probabilities(circuit)
+        got = EXT.probabilities(circuit)
+        assert hellinger_fidelity(exact, got) > 1 - 1e-9
+
+    def test_max_terms_guard(self):
+        state = StabilizerSum(1, max_terms=2)
+        state.apply_operation(gates.T, (0,))
+        with pytest.raises(RuntimeError):
+            state.apply_operation(gates.ZPow(0.3), (0,))
+
+    def test_qubit_limit(self):
+        sim = ExtendedStabilizerSimulator(max_qubits=4)
+        with pytest.raises(ValueError):
+            sim.run(Circuit(5))
+
+
+class TestMetropolisSampling:
+    def test_dense_distribution_is_accurate(self):
+        # VQA-like dense output: Metropolis mixes well (paper Figs. 3, 6)
+        rng = np.random.default_rng(3)
+        circuit = Circuit(4)
+        for q in range(4):
+            circuit.append(gates.H, q)
+        for q in range(3):
+            circuit.append(gates.CX, q, q + 1)
+        circuit.append(gates.T, 2)
+        for q in range(4):
+            circuit.append(gates.SX, q)
+        exact = SV.probabilities(circuit)
+        sampled = EXT.sample(circuit, shots=8000, rng=rng, mixing_steps=2000)
+        assert hellinger_fidelity(exact, sampled) > 0.95
+
+    def test_sparse_distribution_fails(self):
+        # peaked output at |1...1>: the chain cannot find the support from a
+        # random start — the Fig. 7 failure mode
+        n = 16
+        circuit = Circuit(n)
+        for q in range(n):
+            circuit.append(gates.X, q)
+        circuit.append(gates.T, 0)  # T after X: still a point distribution
+        exact = SV.probabilities(circuit)
+        sampled = EXT.sample(circuit, shots=200, rng=0, mixing_steps=50)
+        assert hellinger_fidelity(exact, sampled) < 0.5
+
+    def test_shot_count(self):
+        circuit = Circuit(2).append(gates.H, 0).append(gates.T, 0)
+        dist = EXT.sample(circuit, shots=500, rng=1, mixing_steps=100)
+        assert np.isclose(dist.total(), 1.0)

@@ -1,0 +1,69 @@
+"""Unit tests for the fragment data structures."""
+
+import pytest
+
+from repro.circuits import Circuit, gates
+from repro.core import Cut, cut_circuit, find_cuts
+from repro.core.fragments import Fragment
+
+
+def cut_example():
+    c = Circuit(3)
+    c.append(gates.H, 0).append(gates.CX, 0, 1)
+    c.append(gates.T, 1)
+    c.append(gates.CX, 1, 2).append(gates.H, 2)
+    return cut_circuit(c, find_cuts(c))
+
+
+class TestFragment:
+    def test_repr_mentions_cliffordness(self):
+        cc = cut_example()
+        reps = [repr(f) for f in cc.fragments]
+        assert any("non-Clifford" in r for r in reps)
+        assert any(", Clifford" in r for r in reps)
+
+    def test_output_qubit_for(self):
+        cc = cut_example()
+        for fragment in cc.fragments:
+            for oq, lq in fragment.circuit_outputs:
+                assert fragment.output_qubit_for(oq) == lq
+
+    def test_output_qubit_for_missing(self):
+        cc = cut_example()
+        t_fragment = next(f for f in cc.fragments if not f.is_clifford)
+        with pytest.raises(KeyError):
+            t_fragment.output_qubit_for(0)
+
+    def test_num_variants_formula(self):
+        fragment = Fragment(index=0, circuit=Circuit(2))
+        fragment.quantum_inputs = [(0, 0), (1, 1)]
+        fragment.quantum_outputs = [(2, 0)]
+        assert fragment.num_variants == 4 * 4 * 3
+
+    def test_incident_cuts_deduplicated(self):
+        fragment = Fragment(index=0, circuit=Circuit(1))
+        fragment.quantum_inputs = [(3, 0)]
+        fragment.quantum_outputs = [(3, 0), (1, 0)]
+        assert fragment.incident_cuts == [1, 3]
+
+
+class TestCutCircuit:
+    def test_reconstruction_terms(self):
+        cc = cut_example()
+        assert cc.reconstruction_terms == 4**2
+
+    def test_fragment_of_output_missing(self):
+        cc = cut_example()
+        with pytest.raises(KeyError):
+            cc.fragment_of_output(99)
+
+    def test_repr(self):
+        cc = cut_example()
+        assert "2 cuts" in repr(cc)
+        assert "3 fragments" in repr(cc)
+
+    def test_cut_frozen_and_hashable(self):
+        a, b = Cut(1, 2), Cut(1, 2)
+        assert a == b and hash(a) == hash(b)
+        with pytest.raises(AttributeError):
+            a.qubit = 5

@@ -1,0 +1,95 @@
+"""Tests for the Clifford generative-modeling application (paper §IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Distribution, total_variation_distance
+from repro.apps.generative import (
+    BornMachine,
+    model_distribution,
+    refine_near_clifford,
+    train_clifford,
+)
+from repro.core import SuperSim
+from repro.statevector import StatevectorSimulator
+
+SV = StatevectorSimulator()
+
+
+class TestBornMachine:
+    def test_parameter_count(self):
+        assert BornMachine(4, 3).num_parameters == 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BornMachine(0, 1)
+        with pytest.raises(ValueError):
+            BornMachine(2, 1).circuit([0.5])
+
+    def test_clifford_points_are_clifford(self):
+        model = BornMachine(3, 2)
+        rng = np.random.default_rng(0)
+        steps = rng.integers(0, 4, size=model.num_parameters)
+        assert model.clifford_circuit(steps).is_clifford
+
+    def test_generic_points_are_not(self):
+        model = BornMachine(2, 1)
+        params = np.full(model.num_parameters, 0.3)
+        assert not model.circuit(params).is_clifford
+
+    def test_distribution_normalised(self):
+        model = BornMachine(3, 2)
+        steps = np.ones(model.num_parameters, dtype=int)
+        dist = model_distribution(model.clifford_circuit(steps))
+        assert np.isclose(dist.total(), 1.0)
+
+    def test_model_matches_statevector(self):
+        model = BornMachine(3, 2)
+        rng = np.random.default_rng(1)
+        steps = rng.integers(0, 4, size=model.num_parameters)
+        circuit = model.clifford_circuit(steps)
+        a = model_distribution(circuit)
+        b = SV.probabilities(circuit)
+        assert total_variation_distance(a, b) < 1e-9
+
+
+class TestTraining:
+    def test_training_reduces_loss(self):
+        target = Distribution(2, {0b00: 0.5, 0b11: 0.5})  # Bell-pair statistics
+        model = BornMachine(2, 2)
+        rng = np.random.default_rng(2)
+        start = rng.integers(0, 4, size=model.num_parameters)
+        start_loss = total_variation_distance(
+            model_distribution(model.clifford_circuit(start)), target
+        )
+        _steps, best_loss = train_clifford(model, target, iterations=2, rng=3)
+        assert best_loss <= start_loss + 1e-12
+
+    def test_ghz_target_learnable(self):
+        """GHZ statistics are stabilizer statistics: exact fit is reachable."""
+        target = Distribution(3, {0b000: 0.5, 0b111: 0.5})
+        model = BornMachine(3, 3)
+        _steps, loss = train_clifford(model, target, iterations=4, rng=4,
+                                      restarts=6)
+        assert loss < 0.05
+
+    def test_biased_target_needs_non_clifford(self):
+        """A 75/25 single-qubit target is off the stabilizer polytope:
+        Clifford training plateaus, one non-Clifford gate improves it."""
+        target = Distribution(1, {0: 0.75, 1: 0.25})
+        model = BornMachine(1, 1)
+        steps, clifford_loss = train_clifford(model, target, iterations=3, rng=5,
+                                              restarts=4)
+        # Clifford machines only produce P(0) in {0, 1/2, 1}
+        assert clifford_loss >= 0.25 - 1e-9
+        params, refined_loss = refine_near_clifford(
+            model, steps, target, SuperSim()
+        )
+        assert refined_loss < clifford_loss - 0.05
+
+    def test_refinement_keeps_single_non_clifford(self):
+        target = Distribution(2, {0b01: 1.0})
+        model = BornMachine(2, 1)
+        steps, _ = train_clifford(model, target, iterations=1, rng=6)
+        params, _ = refine_near_clifford(model, steps, target, SV)
+        assert model.circuit(params).num_non_clifford <= 1

@@ -1,0 +1,99 @@
+"""Tests for the circuit library (GHZ, brickwork, QFT) and CZPow support."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, gates
+from repro.circuits.gates import CZPow
+from repro.circuits.library import brickwork_layer, ghz_circuit, qft_circuit
+from repro.extended_stabilizer import ExtendedStabilizerSimulator, StabilizerSum
+from repro.statevector import StatevectorSimulator
+
+SV = StatevectorSimulator()
+
+
+class TestCZPow:
+    def test_cz_at_integer(self):
+        assert CZPow(1.0).is_clifford
+        assert np.allclose(CZPow(1.0).matrix, gates.CZ.matrix)
+        assert CZPow(2.0).is_clifford
+
+    def test_non_clifford_fractions(self):
+        assert not CZPow(0.5).is_clifford
+        assert not CZPow(0.25).is_clifford
+
+    def test_decomposition_at_clifford_points(self):
+        for t in (1.0, 2.0, 3.0):
+            gate = CZPow(t)
+            circuit = Circuit(2)
+            table = {"H": gates.H, "S": gates.S, "CX": gates.CX}
+            for name, wires in gate.stabilizer_decomposition():
+                circuit.append(table[name], *wires)
+            u = circuit.unitary()
+            ratio = gate.matrix[0, 0] / u[0, 0]
+            assert np.allclose(u * ratio, gate.matrix, atol=1e-9)
+
+
+class TestGHZ:
+    def test_state(self):
+        psi = SV.state(ghz_circuit(4))
+        assert np.isclose(abs(psi[0]) ** 2, 0.5)
+        assert np.isclose(abs(psi[-1]) ** 2, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ghz_circuit(0)
+
+
+class TestBrickwork:
+    def test_layer_offsets(self):
+        a = brickwork_layer(Circuit(5), offset=0)
+        b = brickwork_layer(Circuit(5), offset=1)
+        assert {op.qubits for op in a} == {(0, 1), (2, 3)}
+        assert {op.qubits for op in b} == {(1, 2), (3, 4)}
+
+
+class TestQFT:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_matches_dft_matrix(self, n):
+        """QFT (without qubit reversal) equals the DFT with reversed rows."""
+        circuit = qft_circuit(n)
+        u = circuit.unitary()
+        dim = 2**n
+        omega = np.exp(2j * np.pi / dim)
+        dft = np.array(
+            [[omega ** (r * c) for c in range(dim)] for r in range(dim)]
+        ) / np.sqrt(dim)
+        # undo the implicit bit reversal of the textbook construction
+        perm = [int(f"{i:0{n}b}"[::-1], 2) for i in range(dim)]
+        assert np.allclose(u[perm, :], dft, atol=1e-9)
+
+    def test_non_clifford_count(self):
+        circuit = qft_circuit(4)
+        assert circuit.num_non_clifford == 3 + 2 + 1
+
+    def test_approximate_qft_drops_small_angles(self):
+        exact = qft_circuit(5)
+        approx = qft_circuit(5, approximation_degree=2)
+        assert len(approx) < len(exact)
+
+    def test_extended_stabilizer_runs_qft(self):
+        """Rank grows with the QFT's non-Clifford count but stays exact."""
+        circuit = qft_circuit(3)
+        state = StabilizerSum(3, max_terms=2**12)
+        state.apply_circuit(circuit)
+        assert np.allclose(state.to_statevector(), SV.state(circuit), atol=1e-8)
+
+    def test_zzpow_costs_single_doubling(self):
+        state = StabilizerSum(2)
+        state.apply_operation(gates.ZZPow(0.25), (0, 1))
+        assert state.num_terms == 2  # the x XOR y factorisation
+
+    def test_generic_two_qubit_diagonal(self):
+        diag = np.diag(np.exp(1j * np.array([0.0, 0.3, 0.9, 1.7])))
+        gate = gates.Gate("DIAG2", diag)
+        circuit = Circuit(2).append(gates.H, 0).append(gates.H, 1)
+        circuit.append(gate, 0, 1)
+        state = StabilizerSum(2, max_terms=64)
+        state.apply_circuit(circuit)
+        assert np.allclose(state.to_statevector(), SV.state(circuit), atol=1e-9)

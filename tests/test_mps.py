@@ -1,0 +1,158 @@
+"""Tests for the MPS simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import hellinger_fidelity
+from repro.circuits import (
+    Circuit,
+    gates,
+    random_clifford_circuit,
+    random_near_clifford_circuit,
+)
+from repro.mps import MPSSimulator, MPSState
+from repro.statevector import StatevectorSimulator
+
+SV = StatevectorSimulator()
+MPS = MPSSimulator()
+
+
+def phase_equal(a, b, atol=1e-8):
+    i = np.argmax(np.abs(b))
+    if abs(b[i]) < atol:
+        return np.allclose(a, b, atol=atol)
+    ratio = a[i] / b[i]
+    return np.allclose(a, ratio * b, atol=atol) and abs(abs(ratio) - 1) < 1e-6
+
+
+class TestStateEvolution:
+    def test_initial_state(self):
+        state = MPSState(3)
+        vec = state.to_statevector()
+        assert np.isclose(vec[0], 1.0)
+
+    def test_single_qubit_gates(self):
+        c = Circuit(2).append(gates.H, 0).append(gates.T, 1)
+        assert np.allclose(MPS.run(c).to_statevector(), SV.state(c), atol=1e-10)
+
+    def test_bell(self):
+        c = Circuit(2).append(gates.H, 0).append(gates.CX, 0, 1)
+        assert np.allclose(MPS.run(c).to_statevector(), SV.state(c), atol=1e-10)
+
+    def test_nonadjacent_gate(self):
+        c = Circuit(4).append(gates.H, 0).append(gates.CX, 0, 3)
+        assert np.allclose(MPS.run(c).to_statevector(), SV.state(c), atol=1e-10)
+
+    def test_reversed_qubit_order_gate(self):
+        c = Circuit(3).append(gates.H, 2).append(gates.CX, 2, 0)
+        assert np.allclose(MPS.run(c).to_statevector(), SV.state(c), atol=1e-10)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_clifford(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        c = random_clifford_circuit(n, int(rng.integers(2, 7)), rng)
+        assert np.allclose(MPS.run(c).to_statevector(), SV.state(c), atol=1e-8)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_near_clifford(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        c = random_near_clifford_circuit(4, 4, 2, rng)
+        assert np.allclose(MPS.run(c).to_statevector(), SV.state(c), atol=1e-8)
+
+    def test_norm_preserved(self):
+        c = random_clifford_circuit(5, 6, rng=0)
+        assert np.isclose(MPS.run(c).norm_squared(), 1.0, atol=1e-9)
+
+    def test_three_qubit_gate_rejected(self):
+        ccx = np.eye(8, dtype=complex)
+        ccx[6:, 6:] = np.array([[0, 1], [1, 0]])
+        gate = gates.Gate("CCX", ccx)
+        with pytest.raises(ValueError):
+            MPS.run(Circuit(3).append(gate, 0, 1, 2))
+
+
+class TestTruncation:
+    def test_bond_growth_with_entanglement(self):
+        n = 8
+        c = Circuit(n)
+        for layer in range(3):
+            for q in range(n):
+                c.append(gates.H, q)
+            for q in range(0, n - 1, 2):
+                c.append(gates.CZ, q, q + 1)
+            for q in range(1, n - 1, 2):
+                c.append(gates.CZ, q, q + 1)
+        state = MPS.run(c)
+        assert state.max_bond_dimension > 1
+
+    def test_max_bond_caps_dimension(self):
+        sim = MPSSimulator(max_bond=2)
+        c = random_clifford_circuit(6, 8, rng=1)
+        state = sim.run(c)
+        assert state.max_bond_dimension <= 2
+
+    def test_truncation_error_recorded(self):
+        sim = MPSSimulator(max_bond=1)
+        c = Circuit(2).append(gates.H, 0).append(gates.CX, 0, 1)
+        state = sim.run(c)
+        assert state.truncation_error > 0.1  # Bell state truncated to product
+
+    def test_product_state_stays_bond_one(self):
+        c = Circuit(5)
+        for q in range(5):
+            c.append(gates.H, q)
+        assert MPS.run(c).max_bond_dimension == 1
+
+
+class TestSampling:
+    def test_deterministic(self):
+        c = Circuit(3).append(gates.X, 1)
+        dist = MPS.sample(c, shots=50, rng=0)
+        assert dist[0b010] == 1.0
+
+    def test_bell_sampling(self):
+        c = Circuit(2).append(gates.H, 0).append(gates.CX, 0, 1)
+        dist = MPS.sample(c, shots=4000, rng=0)
+        assert set(dist.probs) == {0b00, 0b11}
+        assert np.isclose(dist[0b00], 0.5, atol=0.03)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sampling_matches_exact(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        c = random_near_clifford_circuit(4, 4, 1, rng)
+        exact = SV.probabilities(c)
+        sampled = MPS.sample(c, shots=6000, rng=rng)
+        assert hellinger_fidelity(exact, sampled) > 0.97
+
+    def test_measured_subset(self):
+        c = Circuit(3).append(gates.H, 0).append(gates.CX, 0, 2).measure([2])
+        dist = MPS.sample(c, shots=2000, rng=0)
+        assert dist.n_bits == 1
+        assert np.isclose(dist[0], 0.5, atol=0.05)
+
+    def test_amplitude(self):
+        c = Circuit(2).append(gates.H, 0).append(gates.CX, 0, 1)
+        state = MPS.run(c)
+        assert np.isclose(state.amplitude([0, 0]), 1 / np.sqrt(2))
+        assert np.isclose(state.amplitude([0, 1]), 0.0)
+
+
+class TestMarginals:
+    def test_single_bit_marginals(self):
+        c = Circuit(2).append(gates.H, 0)
+        marg = MPS.run(c).single_bit_marginals()
+        assert np.allclose(marg[0], [0.5, 0.5], atol=1e-10)
+        assert np.allclose(marg[1], [1.0, 0.0], atol=1e-10)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_marginals_match_statevector(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        c = random_clifford_circuit(4, 5, rng)
+        expected = SV.probabilities(c).single_bit_marginals()
+        got = MPS.run(c).single_bit_marginals()
+        assert np.allclose(got, expected, atol=1e-8)
+
+    def test_probabilities_exact(self):
+        c = random_near_clifford_circuit(3, 3, 1, rng=4)
+        assert hellinger_fidelity(SV.probabilities(c), MPS.probabilities(c)) > 1 - 1e-8

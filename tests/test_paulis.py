@@ -1,0 +1,180 @@
+"""Unit and property tests for the phase-tracked Pauli algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, gates
+from repro.paulis import PauliString, conjugate_pauli
+
+LETTERS = "IXYZ"
+
+
+def random_label(rng, n):
+    return "".join(rng.choice(list(LETTERS)) for _ in range(n))
+
+
+labels = st.text(alphabet=LETTERS, min_size=1, max_size=5)
+phases = st.integers(min_value=0, max_value=3)
+
+
+class TestConstruction:
+    def test_identity(self):
+        p = PauliString.identity(3)
+        assert p.label() == "III"
+        assert p.is_identity()
+        assert p.weight == 0
+
+    def test_from_label_roundtrip(self):
+        p = PauliString.from_label("XIZY")
+        assert p.label() == "XIZY"
+        assert p.scalar() == 1.0
+
+    def test_y_convention(self):
+        y = PauliString.from_label("Y")
+        assert y.x[0] and y.z[0]
+        assert y.phase == 1  # Y = i X Z
+        assert np.allclose(y.to_matrix(), np.array([[0, -1j], [1j, 0]]))
+
+    def test_single(self):
+        p = PauliString.single(4, 2, "Z")
+        assert p.label() == "IIZI"
+
+    def test_bad_letter(self):
+        with pytest.raises(ValueError):
+            PauliString.from_label("XQ")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            PauliString([1, 0], [1], 0)
+
+    def test_weight(self):
+        assert PauliString.from_label("XIYZ").weight == 3
+
+
+class TestAlgebra:
+    @given(labels, labels, phases, phases)
+    @settings(max_examples=60, deadline=None)
+    def test_multiplication_matches_matrices(self, la, lb, pa, pb):
+        n = min(len(la), len(lb))
+        la, lb = la[:n], lb[:n]
+        a = PauliString.from_label(la, pa)
+        b = PauliString.from_label(lb, pb)
+        product = a * b
+        assert np.allclose(product.to_matrix(), a.to_matrix() @ b.to_matrix())
+
+    @given(labels, labels)
+    @settings(max_examples=60, deadline=None)
+    def test_commutation_matches_matrices(self, la, lb):
+        n = min(len(la), len(lb))
+        la, lb = la[:n], lb[:n]
+        a = PauliString.from_label(la)
+        b = PauliString.from_label(lb)
+        ab = a.to_matrix() @ b.to_matrix()
+        ba = b.to_matrix() @ a.to_matrix()
+        assert a.commutes(b) == np.allclose(ab, ba)
+
+    def test_xz_anticommute(self):
+        x = PauliString.from_label("X")
+        z = PauliString.from_label("Z")
+        assert not x.commutes(z)
+        assert (x * z).phase != (z * x).phase
+
+    def test_square_of_y_is_identity(self):
+        y = PauliString.from_label("Y")
+        sq = y * y
+        assert sq.is_identity()
+        assert sq.phase == 0
+
+    def test_mismatched_sizes(self):
+        with pytest.raises(ValueError):
+            PauliString.from_label("X") * PauliString.from_label("XX")
+
+    def test_hash_and_eq(self):
+        a = PauliString.from_label("XZ")
+        b = PauliString.from_label("XZ")
+        assert a == b and hash(a) == hash(b)
+        assert a != PauliString.from_label("ZX")
+
+
+class TestBasisAction:
+    def test_x_flips(self):
+        p = PauliString.from_label("XI")
+        k, bits = p.apply_to_bits(np.array([0, 0]))
+        assert k == 0
+        assert list(bits) == [1, 0]
+
+    def test_z_phase(self):
+        p = PauliString.from_label("Z")
+        k, bits = p.apply_to_bits(np.array([1]))
+        assert k == 2
+        assert list(bits) == [1]
+
+    @given(labels, st.integers(min_value=0, max_value=31))
+    @settings(max_examples=40, deadline=None)
+    def test_apply_to_bits_matches_matrix(self, label, bits_int):
+        n = len(label)
+        bits = np.array([(bits_int >> (n - 1 - i)) & 1 for i in range(n)], dtype=bool)
+        p = PauliString.from_label(label)
+        k, new_bits = p.apply_to_bits(bits)
+        vec = np.zeros(2**n, dtype=complex)
+        index = int("".join(str(int(b)) for b in bits), 2)
+        vec[index] = 1.0
+        out = p.to_matrix() @ vec
+        new_index = int("".join(str(int(b)) for b in new_bits), 2)
+        assert np.isclose(out[new_index], 1j**k)
+
+
+GATE_CASES = [
+    ("H", (gates.H, (0,)), 1),
+    ("S", (gates.S, (0,)), 1),
+    ("SDG", (gates.SDG, (0,)), 1),
+    ("X", (gates.X, (0,)), 1),
+    ("Y", (gates.Y, (0,)), 1),
+    ("Z", (gates.Z, (0,)), 1),
+    ("SX", (gates.SX, (0,)), 1),
+    ("SXDG", (gates.SXDG, (0,)), 1),
+    ("CX", (gates.CX, (0, 1)), 2),
+    ("CZ", (gates.CZ, (0, 1)), 2),
+    ("CY", (gates.CY, (0, 1)), 2),
+    ("SWAP", (gates.SWAP, (0, 1)), 2),
+]
+
+
+class TestConjugation:
+    @pytest.mark.parametrize("name,gate_and_qubits,arity", GATE_CASES)
+    def test_against_matrices(self, name, gate_and_qubits, arity):
+        gate, qubits = gate_and_qubits
+        n = 3  # embed in 3 qubits to exercise index handling
+        rng = np.random.default_rng(7)
+        circuit = Circuit(n).append(gate, *qubits)
+        u = circuit.unitary()
+        for _ in range(10):
+            label = random_label(rng, n)
+            phase = int(rng.integers(4))
+            p = PauliString.from_label(label, phase)
+            image = conjugate_pauli(p, name, qubits)
+            expected = u @ p.to_matrix() @ u.conj().T
+            assert np.allclose(image.to_matrix(), expected), (name, label)
+
+    def test_reversed_qubits(self):
+        # CX with control 2, target 0 in a 3-qubit register
+        n = 3
+        circuit = Circuit(n).append(gates.CX, 2, 0)
+        u = circuit.unitary()
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            p = PauliString.from_label(random_label(rng, n))
+            image = conjugate_pauli(p, "CX", (2, 0))
+            assert np.allclose(image.to_matrix(), u @ p.to_matrix() @ u.conj().T)
+
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError):
+            conjugate_pauli(PauliString.identity(1), "NOPE", (0,))
+
+    def test_s_sends_x_to_y(self):
+        p = PauliString.from_label("X")
+        image = conjugate_pauli(p, "S", (0,))
+        assert image.label() == "Y"
+        assert image.scalar() == 1.0

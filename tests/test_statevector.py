@@ -1,0 +1,110 @@
+"""Tests for the dense statevector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Distribution, hellinger_fidelity
+from repro.circuits import Circuit, gates, random_clifford_circuit
+from repro.paulis import PauliString
+from repro.statevector import StatevectorSimulator
+
+SIM = StatevectorSimulator()
+
+
+class TestState:
+    def test_zero_state(self):
+        psi = SIM.state(Circuit(2))
+        assert np.isclose(psi[0], 1.0)
+
+    def test_ghz(self):
+        c = Circuit(3).append(gates.H, 0).append(gates.CX, 0, 1).append(gates.CX, 1, 2)
+        psi = SIM.state(c)
+        assert np.isclose(abs(psi[0b000]) ** 2, 0.5)
+        assert np.isclose(abs(psi[0b111]) ** 2, 0.5)
+
+    def test_t_gate_phase(self):
+        c = Circuit(1).append(gates.H, 0).append(gates.T, 0)
+        psi = SIM.state(c)
+        assert np.isclose(psi[1], np.exp(1j * np.pi / 4) / np.sqrt(2))
+
+    def test_initial_state(self):
+        init = np.zeros(4, dtype=complex)
+        init[0b01] = 1.0
+        psi = SIM.state(Circuit(2).append(gates.X, 0), initial_state=init)
+        assert np.isclose(psi[0b11], 1.0)
+
+    def test_qubit_limit(self):
+        sim = StatevectorSimulator(max_qubits=3)
+        with pytest.raises(ValueError):
+            sim.state(Circuit(4))
+
+    def test_norm_preserved(self):
+        c = random_clifford_circuit(5, 8, rng=0)
+        psi = SIM.state(c)
+        assert np.isclose(np.vdot(psi, psi).real, 1.0)
+
+
+class TestProbabilities:
+    def test_bell_distribution(self):
+        c = Circuit(2).append(gates.H, 0).append(gates.CX, 0, 1)
+        dist = SIM.probabilities(c)
+        assert np.isclose(dist[0b00], 0.5)
+        assert np.isclose(dist[0b11], 0.5)
+        assert dist[0b01] == 0.0
+
+    def test_measured_subset(self):
+        c = Circuit(2).append(gates.H, 0).append(gates.CX, 0, 1).measure([1])
+        dist = SIM.probabilities(c)
+        assert dist.n_bits == 1
+        assert np.isclose(dist[0], 0.5)
+        assert np.isclose(dist[1], 0.5)
+
+    def test_normalised(self):
+        c = random_clifford_circuit(4, 5, rng=1)
+        dist = SIM.probabilities(c)
+        assert np.isclose(dist.total(), 1.0)
+
+
+class TestSampling:
+    def test_deterministic_outcome(self):
+        c = Circuit(2).append(gates.X, 1)
+        dist = SIM.sample(c, shots=100, rng=0)
+        assert dist[0b01] == 1.0
+
+    def test_sampling_close_to_exact(self):
+        c = Circuit(3).append(gates.H, 0).append(gates.H, 1).append(gates.CX, 1, 2)
+        exact = SIM.probabilities(c)
+        sampled = SIM.sample(c, shots=20000, rng=0)
+        assert hellinger_fidelity(exact, sampled) > 0.995
+
+
+class TestExpectation:
+    def test_z_on_zero(self):
+        assert np.isclose(SIM.expectation(Circuit(1), PauliString.from_label("Z")), 1.0)
+
+    def test_z_on_one(self):
+        c = Circuit(1).append(gates.X, 0)
+        assert np.isclose(SIM.expectation(c, PauliString.from_label("Z")), -1.0)
+
+    def test_x_on_plus(self):
+        c = Circuit(1).append(gates.H, 0)
+        assert np.isclose(SIM.expectation(c, PauliString.from_label("X")), 1.0)
+
+    def test_bell_zz(self):
+        c = Circuit(2).append(gates.H, 0).append(gates.CX, 0, 1)
+        assert np.isclose(SIM.expectation(c, PauliString.from_label("ZZ")), 1.0)
+        assert np.isclose(SIM.expectation(c, PauliString.from_label("XX")), 1.0)
+        assert np.isclose(SIM.expectation(c, PauliString.from_label("YY")), -1.0)
+
+    def test_t_rotated_expectation(self):
+        c = Circuit(1).append(gates.H, 0).append(gates.T, 0)
+        assert np.isclose(
+            SIM.expectation(c, PauliString.from_label("X")), 1 / np.sqrt(2)
+        )
+        assert np.isclose(
+            SIM.expectation(c, PauliString.from_label("Y")), 1 / np.sqrt(2)
+        )
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            SIM.expectation(Circuit(2), PauliString.from_label("Z"))

@@ -1,0 +1,113 @@
+"""Tests for strong simulation and the extension backends (paper §V-C, §XI)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import hellinger_fidelity
+from repro.circuits import Circuit, gates, inject_t_gates, random_clifford_circuit
+from repro.core import SuperSim
+from repro.mps import MPSSimulator
+from repro.stabilizer import NoiseModel, PauliChannel
+from repro.statevector import StatevectorSimulator
+
+SV = StatevectorSimulator()
+EXACT = SuperSim()
+
+
+class TestStrongSimulation:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_statevector_pointwise(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 4
+        circuit = inject_t_gates(random_clifford_circuit(n, 4, rng), 1, rng)
+        expected = SV.probabilities(circuit)
+        for outcome in rng.integers(0, 2**n, size=6):
+            bits = [(int(outcome) >> (n - 1 - i)) & 1 for i in range(n)]
+            p = EXACT.probability_of(circuit, bits)
+            assert np.isclose(p, expected[int(outcome)], atol=1e-9)
+
+    def test_wide_ghz_point_query(self):
+        """Point queries stay cheap at widths where 2^n is unthinkable."""
+        n = 60
+        circuit = Circuit(n).append(gates.H, 0)
+        for q in range(n - 1):
+            circuit.append(gates.CX, q, q + 1)
+        circuit.append(gates.T, n // 2)
+        assert np.isclose(EXACT.probability_of(circuit, [0] * n), 0.5, atol=1e-9)
+        assert np.isclose(EXACT.probability_of(circuit, [1] * n), 0.5, atol=1e-9)
+        assert EXACT.probability_of(circuit, [1] + [0] * (n - 1)) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_bitstring_length_validation(self):
+        circuit = Circuit(2).append(gates.H, 0)
+        with pytest.raises(ValueError):
+            EXACT.probability_of(circuit, [0])
+
+    def test_measured_subset_point_query(self):
+        circuit = Circuit(3).append(gates.H, 0).append(gates.CX, 0, 1)
+        circuit.append(gates.T, 1).append(gates.CX, 1, 2)
+        circuit.measure([0, 2])
+        expected = SV.probabilities(circuit)
+        for key in range(4):
+            bits = [(key >> 1) & 1, key & 1]
+            assert np.isclose(
+                EXACT.probability_of(circuit, bits), expected[key], atol=1e-9
+            )
+
+
+class TestPluggableBackends:
+    def test_mps_as_nonclifford_backend(self):
+        rng = np.random.default_rng(9)
+        circuit = inject_t_gates(random_clifford_circuit(4, 4, rng), 1, rng)
+        sim = SuperSim(nonclifford_backend=MPSSimulator())
+        expected = SV.probabilities(circuit)
+        got = sim.run(circuit).distribution
+        assert hellinger_fidelity(expected, got) > 1 - 1e-8
+
+    def test_mps_backend_sampled(self):
+        rng = np.random.default_rng(10)
+        circuit = inject_t_gates(random_clifford_circuit(3, 3, rng), 1, rng)
+        sim = SuperSim(shots=4000, nonclifford_backend=MPSSimulator(), rng=1)
+        expected = SV.probabilities(circuit)
+        got = sim.run(circuit).distribution
+        assert hellinger_fidelity(expected, got) > 0.95
+
+
+class TestNoisySuperSim:
+    def test_noise_requires_shots(self):
+        with pytest.raises(ValueError):
+            SuperSim(noise=NoiseModel()).run(
+                Circuit(2).append(gates.H, 0).append(gates.T, 0)
+            )
+
+    def test_noiseless_noise_model_matches_exact(self):
+        rng = np.random.default_rng(11)
+        circuit = inject_t_gates(random_clifford_circuit(3, 3, rng), 1, rng)
+        sim = SuperSim(shots=20000, noise=NoiseModel(), rng=2)
+        expected = SV.probabilities(circuit)
+        got = sim.run(circuit).distribution
+        assert hellinger_fidelity(expected, got) > 0.99
+
+    def test_noise_changes_output(self):
+        # |0> -> H T H ... with heavy depolarizing noise flattens outcomes
+        circuit = Circuit(2)
+        circuit.append(gates.X, 0).append(gates.X, 1)
+        circuit.append(gates.T, 0)
+        noise = NoiseModel(before_measure=PauliChannel.bit_flip(0.4))
+        noiseless = SuperSim(shots=30000, rng=3).run(circuit).distribution
+        noisy = SuperSim(shots=30000, noise=noise, rng=3).run(circuit).distribution
+        assert noiseless[0b11] > 0.99
+        # the T-gate fragment is noiseless, but the Clifford fragment's
+        # measured qubits flip with probability 0.4
+        assert noisy[0b11] < 0.75
+
+    def test_noisy_rates_quantitative(self):
+        """Readout flip on a 1-fragment Clifford circuit matches analytics."""
+        circuit = Circuit(1).append(gates.T, 0)  # single non-Clifford fragment
+        circuit2 = Circuit(2).append(gates.CX, 0, 1).append(gates.T, 1)
+        noise = NoiseModel(before_measure=PauliChannel.bit_flip(0.25))
+        dist = SuperSim(shots=60000, noise=noise, rng=4).run(circuit2).distribution
+        # qubit 0 lives in the Clifford fragment: P(1) = 0.25
+        marginals = dist.single_bit_marginals()
+        assert np.isclose(marginals[0, 1], 0.25, atol=0.02)
