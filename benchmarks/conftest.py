@@ -24,11 +24,9 @@ from repro.analysis.distributions import Distribution
 from repro.apps.hwea import HWEA
 from repro.apps.qaoa import near_clifford_qaoa
 from repro.apps.qec import near_clifford_phase_code
+from repro.backends import get_backend
 from repro.circuits.random import random_clifford_circuit
 from repro.core import SuperSim
-from repro.extended_stabilizer import ExtendedStabilizerSimulator
-from repro.mps import MPSSimulator
-from repro.stabilizer import StabilizerSimulator
 from repro.statevector import StatevectorSimulator
 
 SHOTS = 5000
@@ -74,28 +72,26 @@ def clifford_workload(n: int, seed: int = 0):
 # -- simulator tasks ---------------------------------------------------------
 # each returns (n, 2) single-qubit marginal probabilities, the paper's
 # dense-distribution accuracy object, so results are comparable across
-# backends at any width
+# backends at any width.  Standalone backends are resolved from the
+# repro.backends registry by name, so a newly registered backend becomes a
+# benchmark series by adding one backend_task() line.
 
 
-def run_statevector(circuit, shots=SHOTS) -> np.ndarray:
-    dist = StatevectorSimulator(max_qubits=24).sample(circuit, shots, rng=0)
-    return dist.single_bit_marginals()
+def backend_task(name: str, **kwargs):
+    """A benchmark task sampling through a registry backend."""
+
+    def run(circuit, shots=SHOTS) -> np.ndarray:
+        dist = get_backend(name, **kwargs).sample(circuit, shots, rng=0)
+        return dist.single_bit_marginals()
+
+    run.__name__ = f"run_{name}"
+    return run
 
 
-def run_stabilizer(circuit, shots=SHOTS) -> np.ndarray:
-    dist = StabilizerSimulator().sample(circuit, shots, rng=0)
-    return dist.single_bit_marginals()
-
-
-def run_mps(circuit, shots=SHOTS) -> np.ndarray:
-    dist = MPSSimulator().sample(circuit, shots, rng=0)
-    return dist.single_bit_marginals()
-
-
-def run_extended_stabilizer(circuit, shots=SHOTS) -> np.ndarray:
-    sim = ExtendedStabilizerSimulator()
-    dist = sim.sample(circuit, shots, rng=0)
-    return dist.single_bit_marginals()
+run_statevector = backend_task("statevector", max_qubits=24)
+run_stabilizer = backend_task("stabilizer")
+run_mps = backend_task("mps")
+run_extended_stabilizer = backend_task("extended_stabilizer")
 
 
 def run_supersim(circuit, shots=SHOTS) -> np.ndarray:

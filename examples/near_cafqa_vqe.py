@@ -35,6 +35,9 @@ def main() -> None:
 
     # --- stage 2: near-CAFQA — one parameter leaves the Clifford grid -------
     base_params = steps * 0.5
+    # SuperSim's variant cache persists across the sweep: the Clifford bulk
+    # of the ansatz is identical between candidates, so only the perturbed
+    # fragment is re-simulated each iteration
     supersim = SuperSim()
     best = (e_clifford, None, 0.0)
     for index in range(ansatz.num_parameters):

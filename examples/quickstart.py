@@ -32,11 +32,18 @@ def main() -> None:
     print(f"\ncuts: {result.num_cuts}  fragments: {result.num_fragments} "
           f"(sizes {[f.n_qubits for f in result.cut_circuit.fragments]})")
     print(f"fragment variants evaluated: {result.num_variants}")
+    print(f"variants simulated per backend: {result.backend_usage}")
     print(f"reconstruction terms: 4^{result.num_cuts} = "
           f"{result.cut_circuit.reconstruction_terms} "
           f"({result.stats.terms_skipped} pruned as zero)")
-    for stage, seconds in result.timings.items():
-        print(f"  {stage:<12} {seconds * 1e3:8.2f} ms")
+    for stage in ("cut", "evaluate", "tomography", "reconstruct"):
+        print(f"  {stage:<12} {result.timings[stage] * 1e3:8.2f} ms")
+
+    # --- run again: the variant cache carries over ---------------------------
+    again = sim.run(circuit)
+    print(f"\nsecond run: {again.cache_hits} variant cache hits, "
+          f"{again.cache_misses} misses "
+          f"(evaluate {again.timings['evaluate'] * 1e3:.2f} ms)")
 
     # --- validate against the dense reference -------------------------------
     reference = StatevectorSimulator().probabilities(circuit)

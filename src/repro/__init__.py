@@ -4,6 +4,8 @@ The top-level package re-exports the most commonly used pieces; see the
 subpackages for the full surface:
 
 * :mod:`repro.circuits` — circuit IR and gate set
+* :mod:`repro.backends` — the backend registry, capability-based router
+  and variant cache that tie the simulators together
 * :mod:`repro.stabilizer` — tableau (Stim-style) simulation
 * :mod:`repro.statevector` — exact dense simulation
 * :mod:`repro.mps` — matrix-product-state simulation

@@ -18,7 +18,6 @@ import numpy as np
 from repro.circuits import gates
 from repro.circuits.circuit import Circuit
 from repro.circuits.random import inject_t_gates
-from repro.stabilizer.frames import FrameSampler
 from repro.stabilizer.noise import NoiseModel, PauliChannel
 
 
@@ -74,13 +73,20 @@ def logical_phase_error_rate(
     phase_flip_probability: float,
     shots: int = 2000,
     rng: np.random.Generator | int | None = None,
+    backend="stabilizer",
 ) -> float:
     """Monte-Carlo logical error rate of one noisy phase-code round.
 
     Z (phase-flip) noise is applied after every gate via Pauli-frame
     sampling; a run is a logical error when majority decoding of the X-basis
     data readout returns 1 (the encoded state was |+>_L, i.e. all-|+>).
+
+    ``backend`` is a registered backend name (or instance) that supports
+    noisy sampling (``capabilities.supports_noise``); the default is the
+    stabilizer backend's Pauli-frame sampler.
     """
+    from repro.backends import get_backend
+
     rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     circuit = phase_flip_repetition_code(distance)
     noise = NoiseModel(
@@ -93,7 +99,6 @@ def logical_phase_error_rate(
             ],
         ),
     )
-    sampler = FrameSampler(circuit, noise)
-    bits = sampler.sample_bits(shots, rng)
+    bits = get_backend(backend).sample_noisy_bits(circuit, noise, shots, rng)
     errors = sum(decode_majority(row) for row in bits)
     return errors / shots

@@ -69,10 +69,13 @@ _BASIS_ROTATION = {"X": (gates.H,), "Y": (gates.SDG, gates.H), "Z": (), "I": ()}
 def pauli_expectation(circuit: Circuit, pauli: PauliString, backend) -> float:
     """``<P>`` of the circuit's output state through a distribution backend.
 
-    The backend needs a ``run(circuit, keep_qubits=...)`` (SuperSim) or
-    ``probabilities(circuit)`` method.  The circuit is augmented with basis
-    rotations so that ``<P>`` becomes a parity of Z-basis outcomes on P's
-    support — which keeps the reconstruction narrow even at large widths.
+    ``backend`` may be a registered backend name (``"statevector"``,
+    ``"mps"``, ...), anything with a ``probabilities(circuit)`` method, or
+    a :class:`~repro.core.supersim.SuperSim` (whose
+    ``run(circuit, keep_qubits=...)`` keeps the reconstruction narrow).
+    The circuit is augmented with basis rotations so that ``<P>`` becomes a
+    parity of Z-basis outcomes on P's support — which keeps the evaluation
+    narrow even at large widths.
     """
     support = [q for q in range(pauli.n) if pauli.label()[q] != "I"]
     if not support:
@@ -84,6 +87,10 @@ def pauli_expectation(circuit: Circuit, pauli: PauliString, backend) -> float:
     rotated.measure(support)
     from repro.core.supersim import SuperSim
 
+    if isinstance(backend, str):
+        from repro.backends import get_backend
+
+        backend = get_backend(backend)
     if isinstance(backend, SuperSim):
         dist = backend.run(rotated, keep_qubits=support).distribution
     else:
@@ -98,11 +105,20 @@ def pauli_expectation(circuit: Circuit, pauli: PauliString, backend) -> float:
 def energy(circuit: Circuit, hamiltonian: Hamiltonian, backend=None) -> float:
     """``<H>`` of the circuit's output state.
 
-    With the default stabilizer backend (Clifford circuits only) each term
-    is an exact tableau expectation in {-1, 0, +1} — the CAFQA fast path.
+    ``backend`` may be ``None`` (stabilizer fast path), a registered
+    backend name, a backend object, or a SuperSim instance.  With the
+    default stabilizer backend (Clifford circuits only) each term is an
+    exact tableau expectation in {-1, 0, +1} — the CAFQA fast path.
     """
     if backend is None:
         backend = StabilizerSimulator()
+    elif isinstance(backend, str):
+        from repro.backends import get_backend
+
+        backend = get_backend(backend)
+    if isinstance(getattr(backend, "simulator", None), StabilizerSimulator):
+        # unwrap the registry adapter so "stabilizer" hits the fast path
+        backend = backend.simulator
     if isinstance(backend, StabilizerSimulator):
         tableau = backend.run(circuit)
         return float(

@@ -1,0 +1,129 @@
+"""Content-addressed variant cache.
+
+Parameter sweeps (VQE/QAOA coordinate descent) and QEC trial loops change a
+few rotation angles between calls while most fragments — in particular all
+the wide Clifford ones — stay byte-identical.  The :class:`VariantCache`
+memoises variant results across ``run()`` calls keyed by a structural
+*fingerprint* of the variant circuit plus the evaluation mode, so repeated
+evaluation of an identical variant is a dictionary lookup instead of a
+simulation.
+
+The fingerprint is content-addressed (SHA-256 over gate names, exact
+parameter bytes, wire indices and measured qubits), so two circuits built
+independently but identical gate-for-gate share an entry.  Eviction is LRU
+with a bounded entry count; hit/miss counters feed the engine's stats.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from collections import OrderedDict
+
+from repro.circuits.circuit import Circuit
+
+
+def circuit_fingerprint(circuit: Circuit) -> str:
+    """A content hash of a circuit's exact structure.
+
+    Covers width, every operation (gate name, float parameters at full
+    precision, wires) and the measured-qubit set — everything that affects
+    simulation output.
+    """
+    h = hashlib.sha256()
+    h.update(struct.pack("<q", circuit.n_qubits))
+    for op in circuit.ops:
+        h.update(op.gate.name.encode())
+        h.update(struct.pack(f"<{len(op.gate.params)}d", *op.gate.params))
+        h.update(struct.pack(f"<{len(op.qubits)}q", *op.qubits))
+        h.update(b";")
+    h.update(b"|m")
+    measured = circuit.measured_qubits
+    h.update(struct.pack(f"<{len(measured)}q", *measured))
+    return h.hexdigest()
+
+
+def noise_fingerprint(noise) -> tuple | None:
+    """A content-based key component for a noise model.
+
+    Keys a :class:`repro.stabilizer.NoiseModel` by its channels' terms, so
+    two models with equal noise share cache entries and — crucially — a
+    *recycled object address* never aliases a different model (``id()`` is
+    unsafe across garbage collection).  Models with a custom ``locations``
+    override (or unknown shapes) fall back to a unique token, disabling
+    cross-run caching for them rather than risking stale hits.
+    """
+    if noise is None:
+        return None
+
+    def channel_key(channel):
+        if channel is None:
+            return None
+        return (channel.num_qubits, tuple(sorted(channel.terms)))
+
+    try:
+        if "locations" in vars(noise):  # instance-level override: opaque
+            raise TypeError
+        return (
+            "noise",
+            channel_key(noise.after_gate_1q),
+            channel_key(noise.after_gate_2q),
+            channel_key(noise.before_measure),
+        )
+    except (AttributeError, TypeError):
+        # unknown noise shape: a fresh token per call still allows in-run
+        # deduplication but never matches a previous run's entries
+        return ("opaque-noise", id(noise), object())
+
+
+class VariantCache:
+    """A bounded LRU mapping (fingerprint, mode) -> variant result."""
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._data: OrderedDict[tuple, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple):
+        """The cached value, or ``None`` (counts a hit/miss)."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: tuple, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._data),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"VariantCache({len(self._data)}/{self.maxsize} entries, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )

@@ -6,8 +6,12 @@ Pipeline (paper §V):
    operations and split the circuit into fragments;
 2. :mod:`repro.core.evaluator` — evaluate every fragment *variant*
    (choices of prepared states at quantum inputs and measurement bases at
-   quantum outputs), dispatching Clifford fragments to the stabilizer
-   simulator and non-Clifford fragments to the statevector simulator;
+   quantum outputs); each fragment is routed to the cheapest capable
+   backend from the :mod:`repro.backends` registry (stabilizer tableau for
+   Clifford fragments, statevector for narrow non-Clifford ones, MPS /
+   extended stabilizer / CH form where their cost models win), with the
+   flattened fragment x variant job list deduplicated through a
+   content-addressed variant cache and executed on a worker pool;
 3. :mod:`repro.core.reconstruction` — recombine fragment tensors over the
    ``4^k`` Pauli assignments of the ``k`` cuts to build the output
    distribution of the original circuit.

@@ -1,10 +1,27 @@
-"""Fragment evaluation: run every variant on the right backend (paper §V-B).
+"""Fragment evaluation: route every variant to the cheapest backend (§V-B).
 
-Clifford fragments go to the stabilizer simulator — exactly (affine-subspace
-output distributions, any width) or with finite shots; non-Clifford
-fragments go to the statevector simulator.  This dispatch is the heart of
-SuperSim's speed: the wide fragments are Clifford and cheap, the
-non-Clifford fragments are narrow and cheap.
+The original dispatch — Clifford fragments to the stabilizer simulator,
+everything else to statevector — is now one particular outcome of
+capability-based routing: a :class:`~repro.backends.router.BackendRouter`
+scores every registered backend's cost model against each fragment's
+features (width, Clifford-ness, T-count, entangling depth) and picks the
+cheapest capable one.  This is the heart of SuperSim's speed — the wide
+fragments are Clifford and cheap, the non-Clifford fragments are narrow
+and cheap — and it now extends to the paper's §XI backends (MPS, extended
+stabilizer, CH form) without code changes here.
+
+Evaluation is *batched*: ``evaluate_all`` flattens the variants of every
+fragment into one job list, deduplicates it through a content-addressed
+:class:`~repro.backends.cache.VariantCache` (identical variant circuits —
+common in parameter sweeps and across symmetric fragments — are simulated
+once), and executes the surviving jobs on a thread or process pool chosen
+from the backends' capability hints (§X: variant simulations are
+independent and parallelise trivially; numpy releases the GIL in the
+heavy kernels).
+
+Per-job seeds are derived from the evaluator's root seed *and* the variant
+fingerprint, never from submission order, so sampled results are
+reproducible bit-for-bit at any parallelism.
 """
 
 from __future__ import annotations
@@ -12,11 +29,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.distributions import Distribution
+from repro.backends.base import Backend, CircuitFeatures
+from repro.backends.cache import VariantCache, circuit_fingerprint
+from repro.backends.router import BackendRouter
 from repro.core.fragments import Fragment
 from repro.core.variants import all_variants, variant_circuit
-from repro.stabilizer.simulator import StabilizerSimulator
-from repro.stabilizer.tableau import AffineOutcomeDistribution
-from repro.statevector.simulator import StatevectorSimulator
 
 
 class VariantData:
@@ -41,7 +58,7 @@ class VariantData:
 class AffineVariantData(VariantData):
     """Exact Clifford variant result in affine-subspace form."""
 
-    def __init__(self, affine: AffineOutcomeDistribution):
+    def __init__(self, affine):
         self.affine = affine
 
     def joint(self, cols: list[int]) -> Distribution:
@@ -68,20 +85,29 @@ class SampledVariantData(VariantData):
     def __init__(self, bits: np.ndarray):
         self.bits = np.asarray(bits, dtype=bool)
 
-    def joint(self, cols: list[int]) -> Distribution:
+    def _keys(self, cols: list[int]) -> np.ndarray:
+        """Per-shot integer outcome over ``cols`` via a bit-weight dot product."""
         sub = self.bits[:, cols]
-        counts: dict[int, int] = {}
-        for row in sub:
-            key = 0
-            for b in row:
-                key = (key << 1) | int(b)
-            counts[key] = counts.get(key, 0) + 1
-        return Distribution.from_counts(len(cols), counts)
+        width = len(cols)
+        if width < 63:
+            weights = (1 << np.arange(width - 1, -1, -1)).astype(np.uint64)
+            return sub.astype(np.uint64) @ weights
+        # ultra-wide selections overflow uint64; fall back to Python ints
+        weights = np.array([1 << (width - 1 - i) for i in range(width)], dtype=object)
+        return sub.astype(object) @ weights
+
+    def joint(self, cols: list[int]) -> Distribution:
+        keys, counts = np.unique(self._keys(cols), return_counts=True)
+        return Distribution.from_counts(
+            len(cols), {int(k): int(c) for k, c in zip(keys, counts)}
+        )
 
     def probability_at(self, cols: list[int], bits) -> float:
-        target = np.asarray(bits, dtype=bool)
-        matches = np.all(self.bits[:, cols] == target[None, :], axis=1)
-        return float(np.count_nonzero(matches)) / self.bits.shape[0]
+        target = 0
+        for b in bits:
+            target = (target << 1) | int(b)
+        matches = np.count_nonzero(self._keys(cols) == target)
+        return float(matches) / self.bits.shape[0]
 
 
 class FragmentData:
@@ -101,8 +127,40 @@ class FragmentData:
         return len(self.results)
 
 
+class _Job:
+    """One deduplicated unit of simulation work."""
+
+    __slots__ = ("key", "backend", "circuit", "shots", "seed", "noise", "affine")
+
+    def __init__(self, key, backend, circuit, shots, seed, noise, affine):
+        self.key = key
+        self.backend = backend
+        self.circuit = circuit
+        self.shots = shots
+        self.seed = seed
+        self.noise = noise
+        self.affine = affine
+
+
+def _execute_job(job: _Job) -> VariantData:
+    """Simulate one variant (module-level so process pools can pickle it)."""
+    rng = np.random.default_rng(np.random.SeedSequence(job.seed))
+    if job.noise is not None:
+        return SampledVariantData(
+            job.backend.sample_noisy_bits(job.circuit, job.noise, job.shots, rng)
+        )
+    if job.affine:
+        affine = job.backend.affine_distribution(job.circuit)
+        if job.shots is None:
+            return AffineVariantData(affine)
+        return SampledVariantData(affine.sample_bits(job.shots, rng))
+    if job.shots is None:
+        return DenseVariantData(job.backend.probabilities(job.circuit))
+    return DenseVariantData(job.backend.sample(job.circuit, job.shots, rng))
+
+
 class FragmentEvaluator:
-    """Evaluates fragments, dispatching by Clifford-ness.
+    """Evaluates fragments through the backend router and batch engine.
 
     ``shots=None`` gives exact fragment evaluation (the mode used for the
     paper-style accuracy claims); an integer samples each variant, with
@@ -110,18 +168,25 @@ class FragmentEvaluator:
     fragments (Section IX: Clifford Pauli expectations are in {-1, 0, +1},
     so far fewer shots identify them).
 
-    Extension points from the paper's roadmap:
+    Backend selection, per fragment:
 
-    * ``nonclifford_backend`` (§XI, additional fragment evaluators): any
-      object with ``probabilities(circuit)`` and ``sample(circuit, shots,
-      rng)`` — e.g. :class:`repro.mps.MPSSimulator` for larger non-Clifford
-      fragments;
-    * ``noise`` (§IV-A, noisy QEC studies): a
-      :class:`repro.stabilizer.NoiseModel` applied to *Clifford* fragments
-      via Pauli-frame sampling (forces sampled evaluation of those
-      fragments).  Non-Clifford fragments stay noiseless — in the paper's
-      setting they carry the coherent (non-Pauli) part of the error model
-      as explicit gates.
+    * ``backend`` (string name or :class:`~repro.backends.base.Backend`)
+      forces that backend for every fragment it can handle;
+    * ``nonclifford_backend`` — the original §XI extension point — forces a
+      backend for non-Clifford fragments only (any object with
+      ``probabilities``/``sample`` is adapted automatically);
+    * otherwise the ``router`` picks the cheapest capable backend.
+
+    ``noise`` (§IV-A, noisy QEC studies) applies a
+    :class:`repro.stabilizer.NoiseModel` to *Clifford* fragments via
+    Pauli-frame sampling, forcing sampled evaluation of those fragments
+    through a noise-capable backend.  Non-Clifford fragments stay
+    noiseless — in the paper's setting they carry the coherent (non-Pauli)
+    part of the error model as explicit gates.
+
+    ``cache`` is an optional :class:`~repro.backends.cache.VariantCache`;
+    share one instance across evaluators (as ``SuperSim`` does) to carry
+    results between ``run()`` calls.
     """
 
     def __init__(
@@ -133,65 +198,183 @@ class FragmentEvaluator:
         nonclifford_backend=None,
         noise=None,
         parallel: int = 1,
+        backend: str | Backend | None = None,
+        router: BackendRouter | None = None,
+        cache: VariantCache | None = None,
+        pool: str | None = None,
     ):
+        from repro.backends import as_backend, get_backend
+
         self.shots = shots
         self.clifford_shots = clifford_shots if clifford_shots is not None else shots
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-        self.stabilizer = StabilizerSimulator()
-        self.nonclifford_backend = nonclifford_backend or StatevectorSimulator(
-            max_qubits=statevector_max_qubits
-        )
         self.noise = noise
         self.parallel = max(1, int(parallel))
+        self.cache = cache
+        if pool not in (None, "thread", "process"):
+            raise ValueError(
+                f"pool must be 'thread', 'process' or None, got {pool!r}"
+            )
+        self.pool = pool
+        if router is None:
+            router = BackendRouter(
+                [
+                    get_backend("stabilizer"),
+                    get_backend("chform"),
+                    get_backend("statevector", max_qubits=statevector_max_qubits),
+                    get_backend("mps"),
+                    get_backend("extended_stabilizer"),
+                ]
+            )
+        self.router = router
+        self.forced = get_backend(backend) if backend is not None else None
+        self.nonclifford_backend = (
+            as_backend(nonclifford_backend) if nonclifford_backend is not None else None
+        )
+        self.last_stats: dict = {}
         if noise is not None and shots is None:
             raise ValueError("noisy fragment evaluation requires finite shots")
 
-    def _evaluate_variant(self, fragment, preps, bases, seed) -> VariantData:
-        circuit = variant_circuit(fragment, preps, bases)
-        rng = np.random.default_rng(seed)
-        if fragment.is_clifford:
-            if self.noise is not None:
-                from repro.stabilizer.frames import FrameSampler
+    # -- routing --------------------------------------------------------------
 
-                sampler = FrameSampler(circuit, self.noise)
-                return SampledVariantData(
-                    sampler.sample_bits(self.clifford_shots, rng)
-                )
-            affine = self.stabilizer.affine_distribution(circuit)
+    def _backend_for(self, fragment: Fragment) -> tuple[Backend, bool]:
+        """(backend, noisy) for a fragment.
+
+        All variants of a fragment share width and Clifford-ness (variants
+        add only single-qubit Clifford preparation/basis ops), so routing
+        is per fragment, not per variant.
+        """
+        features = CircuitFeatures.from_circuit(fragment.circuit)
+        exact = self.shots is None
+        noisy = self.noise is not None and fragment.is_clifford
+        if noisy:
+            # Pauli-frame sampling needs a noise-capable backend
+            if self.forced is not None and self.forced.can_handle(
+                features, exact=False, noisy=True
+            ):
+                return self.forced, True
+            return self.router.select(features, exact=False, noisy=True), True
+        if self.forced is not None and self.forced.can_handle(
+            features, exact=exact
+        ):
+            return self.forced, False
+        if not fragment.is_clifford and self.nonclifford_backend is not None:
+            return self.nonclifford_backend, False
+        return self.router.select(features, exact=exact), False
+
+    # -- batch engine ---------------------------------------------------------
+
+    def _build_jobs(self, fragments: list[Fragment], root_seed: int):
+        """Flatten fragment x variant work into deduplicated jobs.
+
+        Returns ``(assignments, unique_jobs)``: ``assignments`` maps every
+        (fragment index, preps, bases) triple to its job key, and
+        ``unique_jobs`` holds one job per distinct key.  Keys combine the
+        variant circuit's content fingerprint with the backend's
+        configuration token and the evaluation mode (exact, or shot count
+        plus seed, plus the noise model's content fingerprint), so a hit is
+        guaranteed to describe an identical simulation.
+        """
+        from repro.backends.cache import noise_fingerprint
+
+        assignments: list[tuple[int, tuple, tuple, tuple]] = []
+        unique: dict[tuple, _Job] = {}
+        noise_key = noise_fingerprint(self.noise)
+        for index, fragment in enumerate(fragments):
+            backend, noisy = self._backend_for(fragment)
             if self.shots is None:
-                return AffineVariantData(affine)
-            return SampledVariantData(
-                affine.sample_bits(self.clifford_shots, rng)
+                # exact mode is exact for every fragment; clifford_shots
+                # only rebalances *sampled* evaluation
+                eff_shots = None
+            elif fragment.is_clifford:
+                eff_shots = self.clifford_shots
+            else:
+                eff_shots = self.shots
+            use_affine = (
+                backend.capabilities.affine and fragment.is_clifford and not noisy
             )
-        if self.shots is None:
-            return DenseVariantData(self.nonclifford_backend.probabilities(circuit))
-        return DenseVariantData(
-            self.nonclifford_backend.sample(circuit, self.shots, rng)
-        )
-
-    def evaluate(self, fragment: Fragment) -> FragmentData:
-        jobs = [
-            (preps, bases, int(self.rng.integers(2**63)))
-            for preps, bases in all_variants(fragment)
-        ]
-        if self.parallel > 1 and len(jobs) > 1:
-            # §X: variant simulations are independent and parallelise
-            # trivially; numpy releases the GIL in the heavy kernels
-            from concurrent.futures import ThreadPoolExecutor
-
-            with ThreadPoolExecutor(max_workers=self.parallel) as pool:
-                values = list(
-                    pool.map(
-                        lambda job: self._evaluate_variant(fragment, *job), jobs
+            noise = self.noise if noisy else None
+            backend_key = backend.cache_token()
+            for preps, bases in all_variants(fragment):
+                circuit = variant_circuit(fragment, preps, bases)
+                fp = circuit_fingerprint(circuit)
+                seed = (root_seed, int(fp[:16], 16))
+                if eff_shots is None:
+                    mode: tuple = ("exact",)
+                else:
+                    # sampled results depend on the per-job seed, so key it
+                    mode = ("shots", eff_shots, seed)
+                key = (fp, backend_key, noise_key if noisy else None) + mode
+                assignments.append((index, preps, bases, key))
+                if key not in unique:
+                    unique[key] = _Job(
+                        key, backend, circuit, eff_shots, seed, noise, use_affine
                     )
-                )
+        return assignments, unique
+
+    def _run_jobs(self, jobs: list[_Job]) -> dict[tuple, VariantData]:
+        """Execute jobs on the pool implied by the backends' capabilities."""
+        if not jobs:
+            return {}
+        pool = self.pool
+        if pool is None:
+            pool = (
+                "process"
+                if any(j.backend.capabilities.pool == "process" for j in jobs)
+                else "thread"
+            )
+        self.last_stats["pool"] = pool
+        if self.parallel > 1 and len(jobs) > 1:
+            if pool == "process":
+                from concurrent.futures import ProcessPoolExecutor as Executor
+            else:
+                from concurrent.futures import ThreadPoolExecutor as Executor
+
+            with Executor(max_workers=self.parallel) as executor:
+                values = list(executor.map(_execute_job, jobs))
         else:
-            values = [self._evaluate_variant(fragment, *job) for job in jobs]
-        results = {
-            (preps, bases): data
-            for (preps, bases, _seed), data in zip(jobs, values)
-        }
-        return FragmentData(fragment, results)
+            values = [_execute_job(job) for job in jobs]
+        return {job.key: value for job, value in zip(jobs, values)}
 
     def evaluate_all(self, fragments: list[Fragment]) -> list[FragmentData]:
-        return [self.evaluate(f) for f in fragments]
+        """Evaluate every variant of every fragment through one batched pool.
+
+        Fragment x variant jobs are flattened together, so parallelism is
+        not bounded by any single fragment's variant count, and the cache
+        deduplicates identical variants both within and across calls.
+        """
+        root_seed = int(self.rng.integers(2**63))
+        assignments, unique = self._build_jobs(list(fragments), root_seed)
+        cached: dict[tuple, VariantData] = {}
+        if self.cache is not None:
+            for key in list(unique):
+                value = self.cache.get(key)
+                if value is not None:
+                    cached[key] = value
+                    del unique[key]
+        hits = len(cached)
+        usage: dict[str, int] = {}
+        for job in unique.values():
+            usage[job.backend.name] = usage.get(job.backend.name, 0) + 1
+        self.last_stats = {
+            "jobs": len(assignments),
+            "unique_jobs": len(unique) + hits,
+            "cache_hits": hits,
+            "cache_misses": len(unique),
+            "backends": usage,
+        }
+        computed = self._run_jobs(list(unique.values()))
+        if self.cache is not None:
+            for key, value in computed.items():
+                self.cache.put(key, value)
+        computed.update(cached)
+        per_fragment: list[dict] = [{} for _ in fragments]
+        for index, preps, bases, key in assignments:
+            per_fragment[index][(preps, bases)] = computed[key]
+        return [
+            FragmentData(fragment, results)
+            for fragment, results in zip(fragments, per_fragment)
+        ]
+
+    def evaluate(self, fragment: Fragment) -> FragmentData:
+        return self.evaluate_all([fragment])[0]

@@ -7,12 +7,16 @@ Typical use::
     result.distribution          # reconstructed output distribution
     result.timings               # per-stage wall-clock breakdown
 
-``shots=None`` (default) evaluates fragments exactly — Clifford fragments
-through the stabilizer simulator's affine outcome distributions and
-non-Clifford fragments through statevector simulation — so the only
-reconstruction error is floating point.  With integer ``shots`` the
-fragments are *sampled*, as on real hardware, and the optional tomography
-projection and Clifford snapping clean up the statistics.
+``shots=None`` (default) evaluates fragments exactly — by default Clifford
+fragments land on the stabilizer simulator's affine outcome distributions
+and non-Clifford fragments on statevector simulation, but the dispatch is
+capability-based routing over the :mod:`repro.backends` registry, so
+``SuperSim(backend="mps")`` or any custom registered backend slots in
+without further changes.  With integer ``shots`` the fragments are
+*sampled*, as on real hardware, and the optional tomography projection and
+Clifford snapping clean up the statistics.  Variant results are memoised
+in a content-addressed cache that persists across ``run()`` calls, so
+parameter sweeps re-simulate only the fragments that actually changed.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.distributions import Distribution
+from repro.backends.cache import VariantCache
 from repro.circuits.circuit import Circuit
 from repro.core.cutter import CutStrategy, cut_circuit, find_cuts
 from repro.core.evaluator import FragmentEvaluator
@@ -33,13 +38,29 @@ from repro.core.tomography import build_fragment_tensor
 
 @dataclass
 class SuperSimResult:
-    """Reconstructed output plus diagnostics."""
+    """Reconstructed output plus diagnostics.
+
+    ``timings`` carries per-stage wall clock plus the variant-cache
+    counters of this run (``cache_hits`` / ``cache_misses``);
+    ``backend_usage`` counts the variants actually *simulated* per backend
+    name this run (cache hits and within-run duplicates excluded, so a
+    fully cached run reports an empty mapping).
+    """
 
     distribution: Distribution
     cut_circuit: CutCircuit
     stats: ReconstructionStats
     timings: dict[str, float] = field(default_factory=dict)
     raw_distribution: Distribution | None = None
+    backend_usage: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self.timings.get("cache_hits", 0))
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self.timings.get("cache_misses", 0))
 
     @property
     def num_cuts(self) -> int:
@@ -77,6 +98,23 @@ class SuperSim:
     prune_zeros:
         Skip recombination terms with an exactly-zero fragment factor
         (Section IX downstream-term pruning).
+    backend:
+        Force a backend for every fragment it can handle — a registered
+        name (``"mps"``, ``"statevector"``, ...) or a
+        :class:`~repro.backends.base.Backend` instance.  Fragments outside
+        the forced backend's capabilities fall back to routing.
+    router:
+        A custom :class:`~repro.backends.router.BackendRouter`; the default
+        scores every built-in backend's cost model.
+    cache:
+        Variant caching across ``run()`` calls: ``True`` (default) builds a
+        private :class:`~repro.backends.cache.VariantCache`, or pass a
+        shared instance, or ``False``/``None`` to disable.  Cache hit/miss
+        counts appear in :attr:`SuperSimResult.timings`.
+    pool:
+        Worker pool kind for parallel evaluation: ``"thread"``,
+        ``"process"``, or ``None`` to follow the backends' capability
+        hints.
     """
 
     def __init__(
@@ -93,6 +131,10 @@ class SuperSim:
         nonclifford_backend=None,
         noise=None,
         parallel: int = 1,
+        backend=None,
+        router=None,
+        cache: VariantCache | bool | None = True,
+        pool: str | None = None,
     ):
         self.shots = shots
         self.clifford_shots = clifford_shots
@@ -106,6 +148,14 @@ class SuperSim:
         self.nonclifford_backend = nonclifford_backend
         self.noise = noise
         self.parallel = parallel
+        self.backend = backend
+        self.router = router
+        self.pool = pool
+        if cache is True:
+            cache = VariantCache()
+        elif cache is False:
+            cache = None
+        self.variant_cache: VariantCache | None = cache
 
     name = "supersim"
 
@@ -131,6 +181,10 @@ class SuperSim:
             nonclifford_backend=self.nonclifford_backend,
             noise=self.noise,
             parallel=self.parallel,
+            backend=self.backend,
+            router=self.router,
+            cache=self.variant_cache,
+            pool=self.pool,
         )
 
     # -- main entry points --------------------------------------------------------
@@ -155,6 +209,9 @@ class SuperSim:
         evaluator = self._evaluator()
         fragment_data = evaluator.evaluate_all(cc.fragments)
         timings["evaluate"] = time.perf_counter() - start
+        timings["cache_hits"] = float(evaluator.last_stats.get("cache_hits", 0))
+        timings["cache_misses"] = float(evaluator.last_stats.get("cache_misses", 0))
+        backend_usage = dict(evaluator.last_stats.get("backends", {}))
 
         start = time.perf_counter()
         keep_set = set(keep_qubits)
@@ -191,6 +248,7 @@ class SuperSim:
             stats=stats,
             timings=timings,
             raw_distribution=raw,
+            backend_usage=backend_usage,
         )
 
     def probabilities(self, circuit: Circuit) -> Distribution:

@@ -80,7 +80,12 @@ class AffineOutcomeDistribution:
         p = 2.0**-k
         for mask in range(2**k):
             f = np.array([(mask >> (k - 1 - i)) & 1 for i in range(k)], dtype=bool)
-            outcome_bits = (self.A @ f) ^ self.b if k else self.b
+            if k:
+                # GF(2) matrix-vector product: bool @ bool would OR, not XOR
+                products = (self.A.astype(np.uint8) @ f.astype(np.uint8)) % 2
+                outcome_bits = products.astype(bool) ^ self.b
+            else:
+                outcome_bits = self.b
             key = 0
             for bit in outcome_bits:
                 key = (key << 1) | int(bit)

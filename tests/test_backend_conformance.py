@@ -1,0 +1,133 @@
+"""Backend conformance suite: every registered backend vs ground truth.
+
+Parametrized over the registry, so a newly registered backend is tested
+automatically: GHZ, random Clifford circuits, and (for universal backends)
+Clifford+T circuits are cross-checked against statevector simulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import hellinger_fidelity
+from repro.backends import available_backends, get_backend
+from repro.circuits import (
+    Circuit,
+    gates,
+    ghz_circuit,
+    inject_t_gates,
+    random_clifford_circuit,
+)
+from repro.statevector import StatevectorSimulator
+
+SV = StatevectorSimulator()
+
+BACKENDS = available_backends()
+
+
+def make_backend(name):
+    return get_backend(name)
+
+
+def ghz(n=4):
+    return ghz_circuit(n).measure_all()
+
+
+def clifford(seed, n=4):
+    return random_clifford_circuit(n, 5, rng=seed).measure_all()
+
+
+def clifford_plus_t(seed, n=3):
+    rng = np.random.default_rng(seed)
+    return inject_t_gates(random_clifford_circuit(n, 4, rng), 1, rng).measure_all()
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+class TestExactConformance:
+    def test_ghz_probabilities(self, name):
+        backend = make_backend(name)
+        dist = backend.probabilities(ghz())
+        expected = SV.probabilities(ghz())
+        assert hellinger_fidelity(expected, dist) > 1 - 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_clifford_probabilities(self, name, seed):
+        backend = make_backend(name)
+        circuit = clifford(seed)
+        expected = SV.probabilities(circuit)
+        assert hellinger_fidelity(expected, backend.probabilities(circuit)) > 1 - 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_clifford_plus_t_probabilities(self, name, seed):
+        backend = make_backend(name)
+        circuit = clifford_plus_t(seed)
+        if backend.capabilities.clifford_only:
+            pytest.skip(f"{name} is Clifford-only")
+        expected = SV.probabilities(circuit)
+        assert hellinger_fidelity(expected, backend.probabilities(circuit)) > 1 - 1e-9
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+class TestSampledConformance:
+    def test_ghz_sampling(self, name):
+        backend = make_backend(name)
+        if name == "extended_stabilizer":
+            # its Metropolis sampler provably cannot cross between the two
+            # GHZ peaks through zero-probability states — the sparse-support
+            # collapse the paper observes in Fig. 7; exact readout is tested
+            # above instead
+            pytest.skip("Metropolis sampling collapses on sparse supports")
+        expected = SV.probabilities(ghz())
+        dist = backend.sample(ghz(), 4000, rng=0)
+        assert hellinger_fidelity(expected, dist) > 0.9
+
+    def test_clifford_sampling(self, name):
+        backend = make_backend(name)
+        if name == "extended_stabilizer":
+            pytest.skip("Metropolis sampling collapses on sparse supports")
+        circuit = clifford(7)
+        expected = SV.probabilities(circuit)
+        dist = backend.sample(circuit, 4000, rng=0)
+        assert hellinger_fidelity(expected, dist) > 0.9
+
+
+class TestExtendedStabilizerDenseSampling:
+    def test_dense_distribution_mixes(self):
+        # a dense (all-outcomes-populated) distribution, where the
+        # Metropolis chain is known to mix well (VQA-style outputs)
+        circuit = Circuit(3)
+        for q in range(3):
+            circuit.append(gates.H, q).append(gates.T, q).append(gates.H, q)
+        circuit.measure_all()
+        backend = make_backend("extended_stabilizer")
+        expected = SV.probabilities(circuit)
+        dist = backend.sample(circuit, 4000, rng=0)
+        assert hellinger_fidelity(expected, dist) > 0.9
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+class TestCapabilityHonesty:
+    def test_affine_capability_is_real(self, name):
+        backend = make_backend(name)
+        if not backend.capabilities.affine:
+            return
+        affine = backend.affine_distribution(ghz())
+        expected = SV.probabilities(ghz())
+        assert hellinger_fidelity(expected, affine.to_distribution()) > 1 - 1e-9
+
+    def test_noise_capability_is_real(self, name):
+        backend = make_backend(name)
+        if not backend.capabilities.supports_noise:
+            return
+        from repro.stabilizer import NoiseModel, PauliChannel
+
+        noise = NoiseModel(after_gate_1q=PauliChannel.depolarizing(0.0))
+        bits = backend.sample_noisy_bits(clifford(3), noise, 50, rng=0)
+        assert bits.shape == (50, 4)
+
+    def test_measured_subset_respected(self, name):
+        backend = make_backend(name)
+        circuit = Circuit(3).append(gates.H, 0).append(gates.CX, 0, 1)
+        circuit.measure([0, 1])
+        dist = backend.probabilities(circuit)
+        assert dist.n_bits == 2
+        assert np.isclose(dist[0b00], 0.5) and np.isclose(dist[0b11], 0.5)

@@ -1,0 +1,74 @@
+"""Determinism regression tests: seeded runs are reproducible bit-for-bit.
+
+Per-variant seeds are derived from the evaluator's root seed and the
+variant circuit's content fingerprint — never from submission order — so
+the guarantee must hold at any parallelism and with the cache on or off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import inject_t_gates, random_clifford_circuit
+from repro.core import SuperSim
+from repro.stabilizer import NoiseModel, PauliChannel
+
+
+def workload(seed=0):
+    rng = np.random.default_rng(seed)
+    return inject_t_gates(random_clifford_circuit(5, 4, rng), 1, rng)
+
+
+def assert_identical(a, b):
+    assert a.n_bits == b.n_bits
+    assert a.probs == b.probs  # exact equality, not closeness
+
+
+class TestSampledDeterminism:
+    @pytest.mark.parametrize("parallel", [1, 4])
+    def test_two_runs_identical(self, parallel):
+        circuit = workload()
+        first = SuperSim(shots=400, rng=7, parallel=parallel).run(circuit)
+        second = SuperSim(shots=400, rng=7, parallel=parallel).run(circuit)
+        assert_identical(first.distribution, second.distribution)
+
+    def test_parallelism_does_not_change_the_answer(self):
+        circuit = workload(1)
+        serial = SuperSim(shots=400, rng=7, parallel=1).run(circuit)
+        threaded = SuperSim(shots=400, rng=7, parallel=4).run(circuit)
+        assert_identical(serial.distribution, threaded.distribution)
+
+    def test_process_pool_matches_thread_pool(self):
+        circuit = workload(1)
+        threads = SuperSim(shots=200, rng=7, parallel=2, pool="thread").run(circuit)
+        processes = SuperSim(shots=200, rng=7, parallel=2, pool="process").run(circuit)
+        assert_identical(threads.distribution, processes.distribution)
+
+    def test_cache_does_not_change_the_answer(self):
+        circuit = workload(2)
+        cached = SuperSim(shots=400, rng=7).run(circuit)
+        uncached = SuperSim(shots=400, rng=7, cache=False).run(circuit)
+        assert_identical(cached.distribution, uncached.distribution)
+
+    def test_different_seeds_differ(self):
+        circuit = workload(3)
+        a = SuperSim(shots=400, rng=7).run(circuit)
+        b = SuperSim(shots=400, rng=8).run(circuit)
+        assert a.distribution.probs != b.distribution.probs
+
+
+class TestExactDeterminism:
+    def test_exact_mode_is_parallel_invariant(self):
+        circuit = workload(4)
+        serial = SuperSim(parallel=1).run(circuit)
+        threaded = SuperSim(parallel=4).run(circuit)
+        for outcome, p in serial.distribution:
+            assert np.isclose(p, threaded.distribution[outcome], atol=1e-12)
+
+
+class TestNoisyDeterminism:
+    def test_noisy_runs_identical(self):
+        circuit = random_clifford_circuit(4, 4, rng=0).measure_all()
+        noise = NoiseModel(after_gate_1q=PauliChannel.depolarizing(0.01))
+        first = SuperSim(shots=300, rng=7, noise=noise).run(circuit)
+        second = SuperSim(shots=300, rng=7, noise=noise).run(circuit)
+        assert_identical(first.distribution, second.distribution)

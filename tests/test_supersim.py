@@ -203,7 +203,14 @@ class TestResultMetadata:
     def test_timings_present(self):
         c = Circuit(1).append(gates.H, 0)
         result = EXACT.run(c)
-        assert set(result.timings) == {"cut", "evaluate", "tomography", "reconstruct"}
+        assert set(result.timings) == {
+            "cut",
+            "evaluate",
+            "tomography",
+            "reconstruct",
+            "cache_hits",
+            "cache_misses",
+        }
 
     def test_variant_count(self):
         c = Circuit(3)
