@@ -18,6 +18,36 @@ from typing import Iterable, Mapping
 import numpy as np
 
 
+def pack_bit_rows(bits: np.ndarray) -> np.ndarray:
+    """Per-row big-endian integer keys of a ``(rows, width)`` bit matrix.
+
+    A packed-bits dot product replaces per-row Python loops: widths below
+    63 use a ``uint64`` weight vector; wider selections fall back to
+    object-dtype Python integers (matrix width is unbounded here).
+    """
+    bits = np.asarray(bits, dtype=bool)
+    width = bits.shape[1]
+    if width < 63:
+        weights = (1 << np.arange(width - 1, -1, -1)).astype(np.uint64)
+        return bits.astype(np.uint64) @ weights
+    # wide rows: uint64 dot products per 62-bit chunk, then shift-or the
+    # chunk keys into Python ints — far cheaper than an object-dtype matmul
+    acc = None
+    for start in range(0, width, 62):
+        sub = bits[:, start : start + 62]
+        w = sub.shape[1]
+        weights = (1 << np.arange(w - 1, -1, -1)).astype(np.uint64)
+        vals = sub.astype(np.uint64) @ weights
+        acc = vals.astype(object) if acc is None else (acc << w) | vals.astype(object)
+    return acc
+
+
+def counts_from_bit_rows(bits: np.ndarray) -> dict[int, int]:
+    """Outcome-key counts of a ``(shots, width)`` bit matrix."""
+    keys, counts = np.unique(pack_bit_rows(bits), return_counts=True)
+    return {int(k): int(c) for k, c in zip(keys, counts)}
+
+
 class Distribution:
     """A (sparse) probability distribution over ``n_bits``-bit outcomes."""
 

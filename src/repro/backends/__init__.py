@@ -42,6 +42,7 @@ from repro.backends.adapters import (
     as_backend,
 )
 from repro.backends.base import Backend, Capabilities, CircuitFeatures
+from repro.backends.calibration import calibration_circuit, measure_cost_scales
 from repro.backends.cache import (
     VariantCache,
     circuit_fingerprint,
@@ -67,6 +68,8 @@ __all__ = [
     "CircuitFeatures",
     "BackendRouter",
     "NoCapableBackendError",
+    "calibration_circuit",
+    "measure_cost_scales",
     "VariantCache",
     "circuit_fingerprint",
     "noise_fingerprint",

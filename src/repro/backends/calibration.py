@@ -1,0 +1,98 @@
+"""Cost-model calibration: measure the router's constants on this machine.
+
+The backend cost models (:meth:`Backend.estimate_cost`) fix each
+simulator's *scaling shape* — tableau ``n^2/64``, statevector ``2^n``, MPS
+``chi^3``, extended stabilizer ``2^T`` — in arbitrary comparable units.
+Routing only needs the models' *ratios* to be right, and those ratios
+depend on machine constants (numpy dispatch overhead, BLAS speed, cache
+sizes) the analytic models cannot know.
+
+:func:`measure_cost_scales` closes that gap: it times every backend on a
+small canonical workload its capabilities admit, divides measured seconds
+by the model's prediction, and returns per-backend multipliers.  Feed the
+result straight to the router::
+
+    from repro.backends import BackendRouter
+    from repro.backends.calibration import measure_cost_scales
+
+    router = BackendRouter(cost_scales=measure_cost_scales())
+    SuperSim(router=router)
+
+With calibrated scales, a backend's scored cost is (roughly) predicted
+wall-clock seconds on this machine, so "cheapest capable backend" becomes
+"fastest capable backend".
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.backends.base import Backend, CircuitFeatures
+from repro.backends.registry import available_backends, get_backend
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import T
+from repro.circuits.random import random_clifford_circuit
+
+
+def calibration_circuit(backend: Backend, seed: int = 0) -> Circuit:
+    """A small canonical workload admitted by ``backend``'s capabilities.
+
+    Clifford-only backends get a pure random Clifford circuit; everyone
+    else gets the same circuit with a diagonal non-Clifford (T) gate
+    appended, which also satisfies ``diagonal_nonclifford_only`` backends.
+    """
+    caps = backend.capabilities
+    width = 8
+    for limit in (caps.max_qubits, caps.max_qubits_exact):
+        if limit is not None:
+            width = min(width, limit)
+    width = max(2, width)
+    circuit = random_clifford_circuit(width, 2 * width, rng=seed)
+    if not caps.clifford_only:
+        circuit.append(T, 0)
+    circuit.measure_all()
+    return circuit
+
+
+def measure_cost_scales(
+    backends: list[Backend | str] | None = None,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Measured seconds-per-model-unit for each backend.
+
+    Each backend runs its calibration workload ``repeats`` times (best
+    time wins, to shed warm-up noise) through the same entry point the
+    evaluator uses — ``affine_distribution`` for affine-capable backends,
+    ``probabilities`` otherwise.  The returned mapping plugs into
+    ``BackendRouter(cost_scales=...)``.
+    """
+    if backends is None:
+        backends = available_backends()
+    resolved = [
+        get_backend(b) if isinstance(b, str) else b for b in backends
+    ]
+    scales: dict[str, float] = {}
+    for backend in resolved:
+        circuit = calibration_circuit(backend, seed=seed)
+        features = CircuitFeatures.from_circuit(circuit)
+        predicted = float(backend.estimate_cost(features))
+        if predicted <= 0:  # defensive: degenerate model
+            continue
+
+        def run() -> None:
+            if backend.capabilities.affine:
+                backend.affine_distribution(circuit)
+            else:
+                backend.probabilities(circuit)
+
+        run()  # warm caches (compiled layers, lazy imports)
+        best = np.inf
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - start)
+        scales[backend.name] = best / predicted
+    return scales

@@ -40,12 +40,20 @@ class BackendRouter:
     forced:
         Optional backend (instance or name) that wins for every circuit it
         can handle; incapable circuits fall back to scoring.
+    cost_scales:
+        Optional per-backend multipliers applied to ``estimate_cost`` at
+        scoring time, mapping backend name to a positive float.  The
+        analytic cost models fix each backend's *shape* (``n^2/64``,
+        ``2^n``, ``chi^3``, ``2^T``); these constants pin down the
+        relative units — measure them on this machine with
+        :func:`repro.backends.calibration.measure_cost_scales`.
     """
 
     def __init__(
         self,
         backends: list[Backend | str] | None = None,
         forced: Backend | str | None = None,
+        cost_scales: dict[str, float] | None = None,
         **factory_kwargs,
     ):
         if backends is None:
@@ -56,6 +64,18 @@ class BackendRouter:
         ]
         self.forced: Backend | None = (
             get_backend(forced) if forced is not None else None
+        )
+        self.cost_scales: dict[str, float] = dict(cost_scales or {})
+        for name, scale in self.cost_scales.items():
+            if not (scale > 0):  # also rejects NaN
+                raise ValueError(
+                    f"cost scale for {name!r} must be positive, got {scale}"
+                )
+
+    def scored_cost(self, backend: Backend, features: CircuitFeatures) -> float:
+        """A backend's model cost with this router's calibration applied."""
+        return backend.estimate_cost(features) * self.cost_scales.get(
+            backend.name, 1.0
         )
 
     def select(
@@ -84,4 +104,4 @@ class BackendRouter:
                 f"(features={features}, exact={exact}, noisy={noisy}); "
                 f"pool={[b.name for b in self.backends]}"
             )
-        return min(candidates, key=lambda b: b.estimate_cost(features))
+        return min(candidates, key=lambda b: self.scored_cost(b, features))

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.distributions import Distribution
+from repro.analysis.distributions import Distribution, pack_bit_rows
 from repro.backends.base import Backend, CircuitFeatures
 from repro.backends.cache import VariantCache, circuit_fingerprint
 from repro.backends.router import BackendRouter
@@ -87,14 +87,7 @@ class SampledVariantData(VariantData):
 
     def _keys(self, cols: list[int]) -> np.ndarray:
         """Per-shot integer outcome over ``cols`` via a bit-weight dot product."""
-        sub = self.bits[:, cols]
-        width = len(cols)
-        if width < 63:
-            weights = (1 << np.arange(width - 1, -1, -1)).astype(np.uint64)
-            return sub.astype(np.uint64) @ weights
-        # ultra-wide selections overflow uint64; fall back to Python ints
-        weights = np.array([1 << (width - 1 - i) for i in range(width)], dtype=object)
-        return sub.astype(object) @ weights
+        return pack_bit_rows(self.bits[:, cols])
 
     def joint(self, cols: list[int]) -> Distribution:
         keys, counts = np.unique(self._keys(cols), return_counts=True)

@@ -9,13 +9,21 @@ so the probability of outcome ``x`` of the uncut circuit is
     p(x) = 2^-k * sum_{assignments P: cuts -> Pauli}
                  prod_fragments  T_F[ P|incident ](x_F) .
 
-The sum has ``4^k`` terms — the exponential reconstruction cost the paper
-discusses; each term is a product of per-fragment tensor slices (a tiny
-tensor-network contraction with one tensor per fragment).
+The sum has ``4^k`` terms, but it *is* a tensor-network contraction: each
+fragment tensor carries one size-4 axis per incident cut plus one axis
+over its kept output bits, and summing over all Pauli assignments is
+exactly contracting the shared cut axes.  The dense path therefore hands
+the whole network to ``np.einsum`` with a greedy contraction-order
+heuristic — pairwise fragment contractions instead of a ``4^k`` Python
+loop — and falls back to the legacy assignment loop only when the
+Section IX zero-term pruning would skip so many assignments that
+term-by-term evaluation is cheaper than the dense contraction.
 
-The Section IX zero-term optimization lives here: slices whose magnitude is
-(near) zero — guaranteed for many Pauli observables of stabilizer states —
-are detected and the corresponding assignments skipped.
+The Section IX zero-term optimization lives here: slices whose magnitude
+is (near) zero — guaranteed for many Pauli observables of stabilizer
+states — are detected fragment-wise, counted via a cheap indicator
+contraction (that count is what drives the einsum/loop choice), and near-
+zero accumulator entries are dropped before the distribution is built.
 """
 
 from __future__ import annotations
@@ -28,11 +36,105 @@ import numpy as np
 from repro.analysis.distributions import Distribution
 from repro.core.fragments import CutCircuit
 
+_ONE = np.uint64(1)
+
+# fall back to the assignment loop when fewer than 1/_LOOP_SPARSITY of the
+# 4^k terms survive zero-pruning: at that density enumerating survivors
+# beats a dense contraction that cannot exploit the zeros
+_LOOP_SPARSITY = 16
+
+# minimum buffered-entry count before the sparse path folds its term
+# buffers into their union support (bounds peak memory at ~the floor,
+# not at surviving-terms x per-term support)
+_SPARSE_COMPACT_FLOOR = 1 << 21
+
 
 @dataclass
 class ReconstructionStats:
     terms_total: int = 0
     terms_skipped: int = 0
+
+
+def _axis_cuts(fragments) -> list[list[int]]:
+    """Per fragment: the cut ids of its Pauli axes, in tensor axis order."""
+    return [
+        [c for c, _ in f.quantum_inputs] + [c for c, _ in f.quantum_outputs]
+        for f in fragments
+    ]
+
+
+def _nonzero_masks(
+    tensors: list[np.ndarray], zero_threshold: float
+) -> list[np.ndarray]:
+    """Per fragment: boolean indicator over cut-axis combos of live slices."""
+    return [
+        np.max(np.abs(tensor), axis=-1) > zero_threshold for tensor in tensors
+    ]
+
+
+def _count_survivors(masks: list[np.ndarray], axis_cuts: list[list[int]]) -> int:
+    """Number of Pauli assignments with every fragment slice nonzero.
+
+    One einsum over the 0/1 indicator tensors — the same contraction as
+    the reconstruction itself, but over tiny ``4^axes`` masks.
+    """
+    operands: list = []
+    for mask, cuts in zip(masks, axis_cuts):
+        operands.append(mask.astype(np.float64))
+        operands.append(list(cuts))
+    return int(round(float(np.einsum(*operands, [], optimize=True))))
+
+
+def _dense_einsum(
+    tensors: list[np.ndarray], axis_cuts: list[list[int]], k: int
+) -> np.ndarray:
+    """Contract all fragment tensors over shared cut axes in one einsum.
+
+    Cut ``c`` is axis label ``c``; fragment ``f``'s kept-bit axis is label
+    ``k + f`` and survives to the output (fragment order), so the result
+    flattens to the concatenated kept-bit accumulator.  ``optimize=
+    "greedy"`` picks a pairwise contraction order by the standard greedy
+    smallest-intermediate heuristic.
+    """
+    operands: list = []
+    out_sub: list[int] = []
+    for f_index, tensor in enumerate(tensors):
+        operands.append(tensor)
+        operands.append(list(axis_cuts[f_index]) + [k + f_index])
+        out_sub.append(k + f_index)
+    result = np.einsum(*operands, out_sub, optimize="greedy")
+    return result.reshape(-1)
+
+
+def _dense_loop(
+    tensors: list[np.ndarray],
+    axis_cuts: list[list[int]],
+    k: int,
+    total_bits: int,
+    masks: list[np.ndarray] | None,
+) -> np.ndarray:
+    """Legacy term-by-term recombination, skipping masked-out assignments.
+
+    Kept as the sparsity fallback and as the reference implementation the
+    einsum path is property-tested against.
+    """
+    accumulator = np.zeros(2**total_bits)
+    for assignment in itertools.product(range(4), repeat=k):
+        vectors = []
+        skip = False
+        for f_index, tensor in enumerate(tensors):
+            index = tuple(assignment[c] for c in axis_cuts[f_index])
+            if masks is not None and not masks[f_index][index]:
+                skip = True
+                break
+            vectors.append(tensor[index])
+        if skip:
+            continue
+        term = vectors[0]
+        for vec in vectors[1:]:
+            term = np.multiply.outer(term, vec)
+        accumulator += term.reshape(-1)
+    return accumulator
 
 
 def reconstruct_distribution(
@@ -42,44 +144,54 @@ def reconstruct_distribution(
     keep_qubits: list[int],
     prune_zeros: bool = True,
     zero_threshold: float = 1e-12,
+    method: str = "auto",
 ) -> tuple[Distribution, ReconstructionStats]:
     """Recombine fragment tensors into the distribution over ``keep_qubits``.
 
     ``tensors[f]`` has shape ``(4,)*qi_f + (4,)*qo_f + (2**len(kept_locals[f]),)``
     and ``kept_locals[f]`` lists fragment f's kept circuit-output qubits;
     together they must cover ``keep_qubits`` exactly.
+
+    ``method`` selects the dense engine: ``"einsum"`` (tensor-network
+    contraction), ``"loop"`` (legacy ``4^k`` assignment loop), or
+    ``"auto"`` (einsum unless zero-pruning leaves under ``1/16`` of the
+    terms alive, where the loop wins).
     """
+    if method not in ("auto", "einsum", "loop"):
+        raise ValueError(f"unknown reconstruction method {method!r}")
     fragments = cut_circuit.fragments
     k = cut_circuit.num_cuts
-    stats = ReconstructionStats(terms_total=4**k)
+    total_terms = 4**k
+    stats = ReconstructionStats(terms_total=total_terms)
 
-    # per fragment: the cut ids of its Pauli axes, in tensor axis order
-    axis_cuts = [
-        [c for c, _ in f.quantum_inputs] + [c for c, _ in f.quantum_outputs]
-        for f in fragments
-    ]
+    axis_cuts = _axis_cuts(fragments)
     kept_sizes = [len(kl) for kl in kept_locals]
     total_bits = sum(kept_sizes)
-    accumulator = np.zeros(2**total_bits)
 
-    # pre-slice: map assignment-restricted tuples to vectors, fragment-wise
-    for assignment in itertools.product(range(4), repeat=k):
-        vectors = []
-        skip = False
-        for f_index, tensor in enumerate(tensors):
-            index = tuple(assignment[c] for c in axis_cuts[f_index])
-            vec = tensor[index]
-            if prune_zeros and np.max(np.abs(vec)) <= zero_threshold:
-                skip = True
-                break
-            vectors.append(vec)
-        if skip:
-            stats.terms_skipped += 1
-            continue
-        term = vectors[0]
-        for vec in vectors[1:]:
-            term = np.multiply.outer(term, vec)
-        accumulator += term.reshape(-1)
+    masks = None
+    survivors = total_terms
+    if prune_zeros:
+        masks = _nonzero_masks(tensors, zero_threshold)
+        survivors = _count_survivors(masks, axis_cuts)
+        stats.terms_skipped = total_terms - survivors
+
+    # the loop wins in two regimes: heavy zero-pruning (it skips dead
+    # assignments outright) and star topologies where one giant fragment
+    # carries every cut axis (einsum would transpose/reduce the giant
+    # repeatedly; slicing it per assignment streams it once)
+    sizes = [t.size for t in tensors]
+    giant = max(sizes)
+    star_giant = giant >= (1 << 20) and giant * 3 >= 2 * sum(sizes)
+    if method == "loop" or (
+        method == "auto"
+        and (
+            (prune_zeros and survivors * _LOOP_SPARSITY <= total_terms)
+            or star_giant
+        )
+    ):
+        accumulator = _dense_loop(tensors, axis_cuts, k, total_bits, masks)
+    else:
+        accumulator = _dense_einsum(tensors, axis_cuts, k)
     accumulator /= 2.0**k
 
     # bit order of `accumulator`: fragment 0 kept bits, fragment 1 kept bits, ...
@@ -95,7 +207,14 @@ def reconstruct_distribution(
         order = [concat_qubits.index(q) for q in keep_qubits]
         tensor_view = np.transpose(tensor_view, order)
         accumulator = tensor_view.reshape(-1)
-    distribution = Distribution(len(keep_qubits), dict(enumerate(accumulator)))
+    # build the sparse Distribution directly from the surviving entries —
+    # materialising every explicit (near-)zero of the 2^n accumulator as a
+    # dict entry defeats the sparse representation downstream
+    threshold = zero_threshold if prune_zeros else 0.0
+    nonzero = np.flatnonzero(np.abs(accumulator) > threshold)
+    distribution = Distribution(
+        len(keep_qubits), {int(i): float(accumulator[i]) for i in nonzero}
+    )
     return distribution, stats
 
 
@@ -110,51 +229,85 @@ def reconstruct_sparse_distribution(
 ) -> tuple[Distribution, ReconstructionStats]:
     """Sparse recombination: dict-valued fragment tensors, any width.
 
-    Support grows as the product of per-fragment supports; a guard raises
-    when it exceeds ``max_support`` (dense circuits should use marginal
-    reconstruction instead).
+    Per-fragment dictionaries are converted to key/value arrays once, so
+    each assignment's cross-fragment product is an array outer product and
+    the final merge is one ``np.unique``-keyed accumulation instead of a
+    Python dict-merge per term.  Support grows as the product of
+    per-fragment supports; a guard raises when it exceeds ``max_support``
+    (dense circuits should use marginal reconstruction instead).
     """
     fragments = cut_circuit.fragments
     k = cut_circuit.num_cuts
     stats = ReconstructionStats(terms_total=4**k)
-    axis_cuts = [
-        [c for c, _ in f.quantum_inputs] + [c for c, _ in f.quantum_outputs]
-        for f in fragments
-    ]
+    axis_cuts = _axis_cuts(fragments)
     kept_sizes = [len(kl) for kl in kept_locals]
-    accumulator: dict[int, float] = {}
+    total_bits = sum(kept_sizes)
+    # uint64 keys cover the common case; Python-int (object) keys keep
+    # arbitrary widths working
+    use_object = total_bits > 62
+    key_dtype = object if use_object else np.uint64
+
+    frag_arrays: list[dict[tuple[int, ...], tuple[np.ndarray, np.ndarray, float]]] = []
+    for tensor in tensors:
+        entry = {}
+        for combo, vec in tensor.items():
+            keys = np.array(list(vec.keys()), dtype=key_dtype)
+            vals = np.array(list(vec.values()), dtype=np.float64)
+            maxabs = float(np.max(np.abs(vals))) if len(vals) else 0.0
+            entry[combo] = (keys, vals, maxabs)
+        frag_arrays.append(entry)
+
+    all_keys: list[np.ndarray] = []
+    all_vals: list[np.ndarray] = []
+    buffered = 0
+    # bound peak memory: fold buffered terms into their union support
+    # whenever the raw buffers outgrow the floor (the per-term guard
+    # below only bounds individual terms, not their sum over 4^k)
+    compact_limit = _SPARSE_COMPACT_FLOOR
+
+    def _compact() -> None:
+        nonlocal all_keys, all_vals, buffered
+        keys = np.concatenate(all_keys)
+        vals = np.concatenate(all_vals)
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        all_keys = [unique_keys]
+        all_vals = [np.bincount(inverse, weights=vals)]
+        buffered = unique_keys.size
+
     for assignment in itertools.product(range(4), repeat=k):
-        vectors: list[dict[int, float]] = []
+        parts = []
         skip = False
-        for f_index, tensor in enumerate(tensors):
+        for f_index, entry in enumerate(frag_arrays):
             index = tuple(assignment[c] for c in axis_cuts[f_index])
-            vec = tensor[index]
-            if prune_zeros and (
-                not vec or max(abs(v) for v in vec.values()) <= zero_threshold
-            ):
+            keys, vals, maxabs = entry[index]
+            if prune_zeros and maxabs <= zero_threshold:
                 skip = True
                 break
-            vectors.append(vec)
+            parts.append((keys, vals, kept_sizes[f_index]))
         if skip:
             stats.terms_skipped += 1
             continue
-        term: dict[int, float] = {0: 1.0}
-        for f_index, vec in enumerate(vectors):
-            shift = kept_sizes[f_index]
-            new_term: dict[int, float] = {}
-            for key, val in term.items():
-                for x, v in vec.items():
-                    new_term[(key << shift) | x] = (
-                        new_term.get((key << shift) | x, 0.0) + val * v
-                    )
-            term = new_term
-            if len(term) > max_support:
+        term_keys, term_vals, _ = parts[0]
+        for keys, vals, shift in parts[1:]:
+            if use_object:
+                term_keys = (
+                    (term_keys[:, None] * (1 << shift)) | keys[None, :]
+                ).ravel()
+            else:
+                term_keys = (
+                    (term_keys[:, None] << np.uint64(shift)) | keys[None, :]
+                ).ravel()
+            term_vals = (term_vals[:, None] * vals[None, :]).ravel()
+            if term_keys.size > max_support:
                 raise ValueError(
                     "sparse reconstruction support exceeded max_support; "
                     "use marginal reconstruction for dense outputs"
                 )
-        for key, val in term.items():
-            accumulator[key] = accumulator.get(key, 0.0) + val
+        all_keys.append(term_keys)
+        all_vals.append(term_vals)
+        buffered += term_keys.size
+        if buffered > compact_limit:
+            _compact()
     scale = 2.0**-k
 
     # reorder concatenated fragment bits into the requested qubit order
@@ -164,13 +317,37 @@ def reconstruct_sparse_distribution(
         concat_qubits.extend(local_to_orig[lq] for lq in kl)
     if sorted(concat_qubits) != sorted(keep_qubits):
         raise ValueError("kept fragment outputs do not match requested qubits")
-    total_bits = len(concat_qubits)
+    if not all_keys:
+        return Distribution(len(keep_qubits), {}), stats
+    keys = np.concatenate(all_keys)
+    vals = np.concatenate(all_vals)
     source_pos = {q: i for i, q in enumerate(concat_qubits)}
-    out: dict[int, float] = {}
-    for key, val in accumulator.items():
-        new_key = 0
-        for q in keep_qubits:
-            bit = (key >> (total_bits - 1 - source_pos[q])) & 1
-            new_key = (new_key << 1) | bit
-        out[new_key] = out.get(new_key, 0.0) + val * scale
-    return Distribution(len(keep_qubits), out), stats
+    m = len(keep_qubits)
+    if use_object:
+        out: dict[int, float] = {}
+        for key, val in zip(keys, vals):
+            new_key = 0
+            for q in keep_qubits:
+                bit = (int(key) >> (total_bits - 1 - source_pos[q])) & 1
+                new_key = (new_key << 1) | bit
+            out[new_key] = out.get(new_key, 0.0) + val * scale
+        if prune_zeros:
+            out = {kk: vv for kk, vv in out.items() if abs(vv) > zero_threshold}
+        return Distribution(m, out), stats
+    # vectorized bit permutation into the requested order
+    new_keys = np.zeros_like(keys)
+    for out_pos, q in enumerate(keep_qubits):
+        src = np.uint64(total_bits - 1 - source_pos[q])
+        dst = np.uint64(m - 1 - out_pos)
+        new_keys |= ((keys >> src) & _ONE) << dst
+    unique_keys, inverse = np.unique(new_keys, return_inverse=True)
+    sums = np.bincount(inverse, weights=vals) * scale
+    if prune_zeros:
+        live = np.abs(sums) > zero_threshold
+    else:
+        live = sums != 0.0
+    out = {
+        int(kk): float(vv)
+        for kk, vv in zip(unique_keys[live], sums[live])
+    }
+    return Distribution(m, out), stats

@@ -51,6 +51,40 @@ def _snap(value: float) -> float:
     return 0.0
 
 
+def _signed_vectors(
+    dist, n_kept: int, qo: int, signs_mask: list[int], need_weight: bool
+):
+    """(vec, weight) over kept outcomes, sign-weighted by measured Paulis.
+
+    Vectorised replacement for the per-outcome Python loop: outcome keys
+    split into kept bits (high) and measured-Pauli bits (low), the sign is
+    the parity of the masked measurement bits, and each accumulator fills
+    with one ``np.add.at``.  ``weight`` (the unsigned mass, used only by
+    Clifford snapping) is skipped unless requested.  Falls back to
+    ``None`` when keys exceed int64 range (callers keep the loop then).
+    """
+    if n_kept + qo > 62:
+        return None
+    size = len(dist.probs)
+    outcomes = np.fromiter(dist.probs.keys(), dtype=np.int64, count=size)
+    probs = np.fromiter(dist.probs.values(), dtype=np.float64, count=size)
+    x_key = outcomes >> qo
+    sign = np.ones(size)
+    if signs_mask:
+        m_bits = outcomes & ((1 << qo) - 1)
+        parity = np.zeros(size, dtype=np.int64)
+        for j in signs_mask:
+            parity ^= (m_bits >> (qo - 1 - j)) & 1
+        sign = 1.0 - 2.0 * parity
+    vec = np.zeros(2**n_kept)
+    np.add.at(vec, x_key, probs * sign)
+    weight = None
+    if need_weight:
+        weight = np.zeros(2**n_kept)
+        np.add.at(weight, x_key, probs)
+    return vec, weight
+
+
 def build_fragment_tensor(
     data: FragmentData,
     keep_locals: list[int],
@@ -77,26 +111,31 @@ def build_fragment_tensor(
             bases = tuple(BASIS_FOR_PAULI[p] for p in pauli_out)
             dist = data.variant(preps, bases).joint(keep_cols + out_cols)
             signs_mask = [j for j, p in enumerate(pauli_out) if p != 0]
-            vec = np.zeros(2**n_kept)
-            if snap and signs_mask:
+            need_weight = bool(snap and signs_mask)
+            pair = _signed_vectors(dist, n_kept, qo, signs_mask, need_weight)
+            if pair is not None:
+                vec, weight = pair
+            else:  # pragma: no cover - >62-bit dense keys cannot exist
+                vec = np.zeros(2**n_kept)
                 weight = np.zeros(2**n_kept)
-            for outcome, prob in dist:
-                bits = dist.bits(outcome)
-                x_key = 0
-                for b in bits[:n_kept]:
-                    x_key = (x_key << 1) | b
-                m_bits = bits[n_kept:]
-                sign = 1.0
-                for j in signs_mask:
-                    if m_bits[j]:
-                        sign = -sign
-                vec[x_key] += prob * sign
-                if snap and signs_mask:
+                for outcome, prob in dist:
+                    bits = dist.bits(outcome)
+                    x_key = 0
+                    for b in bits[:n_kept]:
+                        x_key = (x_key << 1) | b
+                    m_bits = bits[n_kept:]
+                    sign = 1.0
+                    for j in signs_mask:
+                        if m_bits[j]:
+                            sign = -sign
+                    vec[x_key] += prob * sign
                     weight[x_key] += prob
             if snap and signs_mask:
                 with np.errstate(invalid="ignore", divide="ignore"):
                     ratio = np.where(weight > 0, vec / np.maximum(weight, 1e-300), 0.0)
-                vec = weight * np.vectorize(_snap)(ratio)
+                vec = weight * np.where(
+                    ratio > 0.5, 1.0, np.where(ratio < -0.5, -1.0, 0.0)
+                )
             raw[preps + pauli_out] = vec
 
     # contract each prep axis with the Pauli-over-preparation coefficients

@@ -37,6 +37,7 @@ class PauliChannel:
         if total > 1.0 + 1e-12:
             raise ValueError("probabilities exceed 1")
         self.identity_probability = max(0.0, 1.0 - total)
+        self._xz_masks: tuple[np.ndarray, np.ndarray] | None = None
 
     @classmethod
     def bit_flip(cls, p: float) -> "PauliChannel":
@@ -66,7 +67,13 @@ class PauliChannel:
         return choices - 1
 
     def xz_masks(self) -> tuple[np.ndarray, np.ndarray]:
-        """(terms, num_qubits) boolean X and Z components per term."""
+        """(terms, num_qubits) boolean X and Z components per term.
+
+        Cached: the frame sampler asks for these once per noise site per
+        ``sample_bits`` call, and the terms never change after init.
+        """
+        if self._xz_masks is not None:
+            return self._xz_masks
         k = len(self.terms)
         xm = np.zeros((k, self.num_qubits), dtype=bool)
         zm = np.zeros((k, self.num_qubits), dtype=bool)
@@ -76,7 +83,8 @@ class PauliChannel:
                     xm[i, q] = True
                 if letter in "ZY":
                     zm[i, q] = True
-        return xm, zm
+        self._xz_masks = (xm, zm)
+        return self._xz_masks
 
     def __repr__(self) -> str:
         return f"PauliChannel({self.num_qubits}q, {self.terms})"

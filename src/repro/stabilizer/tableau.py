@@ -1,11 +1,31 @@
-"""Aaronson–Gottesman stabilizer tableau simulation.
+"""Aaronson–Gottesman stabilizer tableau, bit-packed and word-parallel.
 
 The tableau tracks ``2n`` generator rows (destabilizers then stabilizers),
-each a Hermitian Pauli stored as ``(-1)^sign * i^(x.z) * X^x Z^z`` — i.e. the
-plain letter product with a sign bit.  All gate updates are vectorised over
-rows, giving the ``O(n)`` per-gate / ``O(n^2)`` per-measurement scaling that
-makes Clifford simulation tractable at hundreds of qubits (the property the
-paper borrows from Stim).
+each a Hermitian Pauli stored as ``(-1)^sign * i^(x.z) * X^x Z^z`` — i.e.
+the plain letter product with a sign bit.
+
+**Packed layout (Stim-style).**  ``x`` and ``z`` are ``uint64`` arrays of
+shape ``(2n, ceil(n/64))``: each generator row is a bit-packed vector over
+the qubit columns, 64 qubits per machine word (bit ``q & 63`` of word
+``q >> 6``).  ``sym`` packs each row's symbolic sign bits the same way.
+Row products — the inner loop of measurement — become a handful of
+bitwise-AND + popcount (``np.bitwise_count``) ops on whole words, so one
+generator multiplication costs ``O(n/64)`` words instead of ``O(n)``
+bytes, and a full measurement sweep is the paper's ``O(n^2/64)``.
+
+**Fused layers.**  :func:`compile_clifford_layers` ASAP-schedules a
+circuit into same-gate layers on disjoint qubits (gates on disjoint
+qubits commute, so this is bit-for-bit equivalent to program order).
+:meth:`Tableau.apply_circuit` bit-transposes the tableau into *row*-packed
+form (64 rows of a column per word — the layout gate columns want),
+applies every fused layer in one vectorized call there, and transposes
+back; Python dispatch is paid per *layer*, not per gate, and the compiled
+layers are cached on the circuit object (revalidated by op-list identity,
+so any mutation recompiles).
+
+The original byte-per-bit, per-op-dispatch implementation is kept in
+:mod:`repro.stabilizer._reference` as the oracle for the equivalence
+property tests and the ``benchmarks/perf_smoke.py`` baseline.
 
 Measurement supports a *symbolic* mode: each random measurement outcome
 introduces a fresh symbolic bit and subsequent signs are tracked as affine
@@ -19,9 +39,179 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.distributions import Distribution
+from repro.analysis.distributions import Distribution, counts_from_bit_rows
 from repro.circuits.circuit import Circuit
 from repro.paulis.pauli import PauliString
+
+_ONE = np.uint64(1)
+_WORD_SHIFTS = np.arange(64, dtype=np.uint64)
+
+# gate names the packed engine applies natively (every other Clifford gate
+# goes through Gate.stabilizer_decomposition into H/S/CX)
+_NATIVE_GATES = frozenset({"H", "S", "CX", "X", "Y", "Z"})
+
+
+def _pack_bits(bits: np.ndarray, n_words: int | None = None) -> np.ndarray:
+    """Pack a 1-D bool vector into uint64 words (bit ``i&63`` of word ``i>>6``)."""
+    bits = np.asarray(bits, dtype=bool)
+    if n_words is None:
+        n_words = max(1, (bits.shape[0] + 63) >> 6)
+    out = np.zeros(n_words, dtype=np.uint64)
+    idx = np.flatnonzero(bits)
+    np.bitwise_or.at(out, idx >> 6, _ONE << (idx & 63).astype(np.uint64))
+    return out
+
+
+def _unpack_bits(words: np.ndarray, n: int) -> np.ndarray:
+    """Unpack uint64 words (last axis) into ``n`` bools per row."""
+    bits = ((words[..., :, None] >> _WORD_SHIFTS) & _ONE).astype(bool)
+    return bits.reshape(words.shape[:-1] + (-1,))[..., :n]
+
+
+def _compile_ops(ops) -> list[tuple[str, np.ndarray]]:
+    """Fuse a Clifford op list into (gate name, qubit array) layers.
+
+    Ops are ASAP-scheduled into name-homogeneous layers: each primitive
+    joins the earliest layer at or after its dependency frontier (the last
+    layer touching any of its qubits) that applies the same gate.  Gates
+    on disjoint qubits commute exactly, so executing a layer in one
+    vectorized call is bit-for-bit equivalent to the original op order.
+    Raises ``ValueError`` on non-Clifford gates.
+    """
+    from bisect import bisect_left
+
+    prims: list[tuple[str, tuple[int, ...]]] = []
+    for op in ops:
+        if not op.gate.is_clifford:
+            raise ValueError(
+                f"non-Clifford gate {op.gate!r} cannot run on the tableau "
+                "simulator"
+            )
+        name = op.gate.name
+        if name == "I":
+            continue
+        if name in _NATIVE_GATES:
+            prims.append((name, op.qubits))
+        else:
+            for sub_name, wires in op.gate.stabilizer_decomposition():
+                prims.append((sub_name, tuple(op.qubits[w] for w in wires)))
+    layer_ops: list[list[tuple[int, ...]]] = []
+    layer_name: list[str] = []
+    levels_by_name: dict[str, list[int]] = {}
+    last_level: dict[int, int] = {}
+    for name, qubits in prims:
+        ready = 1 + max(last_level.get(q, -1) for q in qubits)
+        # any previously placed op sharing a qubit sits below `ready`, so
+        # the first same-name layer at or after it is always collision-free
+        levels = levels_by_name.setdefault(name, [])
+        pos = bisect_left(levels, ready)
+        if pos < len(levels):
+            level = levels[pos]
+        else:
+            level = len(layer_ops)
+            layer_ops.append([])
+            layer_name.append(name)
+            levels.append(level)
+        layer_ops[level].append(qubits)
+        for q in qubits:
+            last_level[q] = level
+    return [
+        (name, np.asarray(qs, dtype=np.intp))
+        for name, qs in zip(layer_name, layer_ops)
+    ]
+
+
+def compile_clifford_layers(circuit: Circuit) -> list[tuple[str, np.ndarray]]:
+    """Fused-gate layers of a Clifford circuit, cached on the circuit.
+
+    The cache stores a snapshot of the op list and revalidates by element
+    identity: Operations are immutable, and the snapshot keeps the old
+    objects alive, so any mutation of ``circuit.ops`` — append, insert,
+    or in-place replacement — is detected and triggers recompilation.
+    """
+    ops = circuit.ops
+    cached = getattr(circuit, "_clifford_layers", None)
+    if (
+        cached is not None
+        and len(cached[0]) == len(ops)
+        and all(a is b for a, b in zip(cached[0], ops))
+    ):
+        return cached[1]
+    layers = _compile_ops(ops)
+    circuit._clifford_layers = (list(ops), layers)
+    return layers
+
+
+def _pack_axis1(bits: np.ndarray, n_words: int) -> np.ndarray:
+    """Pack a bool matrix's last axis into ``n_words`` uint64 per row."""
+    rows = bits.shape[0]
+    u8 = np.packbits(bits, axis=1, bitorder="little")
+    out = np.zeros((rows, n_words * 8), dtype=np.uint8)
+    out[:, : u8.shape[1]] = u8
+    return out.view(np.uint64)
+
+
+def _unpack_axis1(words: np.ndarray, n: int) -> np.ndarray:
+    """Unpack uint64 words (last axis) into ``n`` bool columns per row."""
+    u8 = np.ascontiguousarray(words).view(np.uint8)
+    return np.unpackbits(u8, axis=1, bitorder="little")[:, :n].astype(bool)
+
+
+def _to_row_packed(words: np.ndarray, n_rows: int, n_cols: int) -> np.ndarray:
+    """Bit-transpose ``(n_rows, ceil(n_cols/64))`` into row-packed form.
+
+    The result has shape ``(ceil(n_rows/64), n_cols)``: one packed word
+    per 64 *rows* of a column, the layout gate layers want.
+    """
+    bits = _unpack_axis1(words, n_cols)
+    return np.ascontiguousarray(
+        _pack_axis1(np.ascontiguousarray(bits.T), max(1, (n_rows + 63) >> 6)).T
+    )
+
+
+def _from_row_packed(words: np.ndarray, n_rows: int, n_cols: int) -> np.ndarray:
+    """Inverse of :func:`_to_row_packed`."""
+    bits = _unpack_axis1(np.ascontiguousarray(words.T), n_rows)
+    return _pack_axis1(np.ascontiguousarray(bits.T), max(1, (n_cols + 63) >> 6))
+
+
+def _apply_layers_row_packed(layers, x, z, sign) -> None:
+    """Apply fused layers to row-packed ``x``/``z``/``sign`` in place.
+
+    Every array packs 64 generator rows per word, so a layer of L gates is
+    a handful of bitwise ops on ``(words, L)`` column gathers — per-gate
+    Python dispatch disappears and 64 rows advance per machine word.
+    """
+    for name, qarr in layers:
+        if name == "CX":
+            cs, ts = qarr[:, 0], qarr[:, 1]
+            xc = x[:, cs]
+            zt = z[:, ts]
+            sign ^= np.bitwise_xor.reduce(
+                xc & zt & ~(x[:, ts] ^ z[:, cs]), axis=1
+            )
+            x[:, ts] ^= xc
+            z[:, cs] ^= zt
+            continue
+        qs = qarr[:, 0]
+        if name == "H":
+            xs = x[:, qs]
+            zs = z[:, qs]
+            sign ^= np.bitwise_xor.reduce(xs & zs, axis=1)
+            x[:, qs] = zs
+            z[:, qs] = xs
+        elif name == "S":
+            xs = x[:, qs]
+            sign ^= np.bitwise_xor.reduce(xs & z[:, qs], axis=1)
+            z[:, qs] ^= xs
+        elif name == "X":
+            sign ^= np.bitwise_xor.reduce(z[:, qs], axis=1)
+        elif name == "Z":
+            sign ^= np.bitwise_xor.reduce(x[:, qs], axis=1)
+        elif name == "Y":
+            sign ^= np.bitwise_xor.reduce(x[:, qs] ^ z[:, qs], axis=1)
+        else:  # pragma: no cover - compiler emits only the names above
+            raise AssertionError(f"unknown layer gate {name!r}")
 
 
 class AffineOutcomeDistribution:
@@ -64,12 +254,7 @@ class AffineOutcomeDistribution:
         self, shots: int, rng: np.random.Generator | int | None = None
     ) -> Distribution:
         bits = self.sample_bits(shots, rng)
-        weights = 1 << np.arange(self.n_bits - 1, -1, -1, dtype=object)
-        counts: dict[int, int] = {}
-        for row in bits:
-            key = int(sum(w for w, bit in zip(weights, row) if bit))
-            counts[key] = counts.get(key, 0) + 1
-        return Distribution.from_counts(self.n_bits, counts)
+        return Distribution.from_counts(self.n_bits, counts_from_bit_rows(bits))
 
     def to_distribution(self, max_free: int = 20) -> Distribution:
         """Exact distribution by enumerating the ``2^k`` support points."""
@@ -205,24 +390,41 @@ class AffineOutcomeDistribution:
 
 
 class Tableau:
-    """Stabilizer state of ``n`` qubits in the Aaronson–Gottesman form."""
+    """Stabilizer state of ``n`` qubits, qubit columns packed into uint64.
+
+    ``x``/``z`` have shape ``(2n, n_words)`` with ``n_words =
+    ceil(n/64)``: row ``r`` (destabilizers ``0..n-1``, stabilizers
+    ``n..2n-1``) is a packed bitvector over the qubit columns.  ``sign``
+    is one bool per row; ``sym`` packs each row's symbolic sign bits into
+    uint64 words the same way.  Padding bits past column ``n-1`` stay
+    zero by construction.
+    """
 
     def __init__(self, n: int, max_symbols: int = 0):
         self.n = int(n)
         rows = 2 * self.n
-        self.x = np.zeros((rows, self.n), dtype=bool)
-        self.z = np.zeros((rows, self.n), dtype=bool)
+        self.n_words = max(1, (self.n + 63) >> 6)
+        # popcount rows via `bitwise_count(...) @ _ones8`: a uint8 matmul is
+        # several times faster than .sum(axis=1), and the mod-256 wraparound
+        # is harmless because every consumer reduces mod 4 or mod 2
+        self._ones8 = np.ones(self.n_words, dtype=np.uint8)
+        self.x = np.zeros((rows, self.n_words), dtype=np.uint64)
+        self.z = np.zeros((rows, self.n_words), dtype=np.uint64)
         self.sign = np.zeros(rows, dtype=bool)
         # symbolic sign bits: sign of row i also includes (-1)^(sym[i] . f)
-        self.sym = np.zeros((rows, max_symbols), dtype=bool)
+        self.sym = np.zeros((rows, (max_symbols + 63) >> 6), dtype=np.uint64)
         self.n_symbols = 0
         # destabilizer i = X_i ; stabilizer i = Z_i
-        self.x[np.arange(self.n), np.arange(self.n)] = True
-        self.z[self.n + np.arange(self.n), np.arange(self.n)] = True
+        i = np.arange(self.n)
+        bit = _ONE << (i & 63).astype(np.uint64)
+        self.x[i, i >> 6] = bit
+        self.z[self.n + i, i >> 6] = bit
 
     def copy(self) -> "Tableau":
         out = Tableau.__new__(Tableau)
         out.n = self.n
+        out.n_words = self.n_words
+        out._ones8 = self._ones8
         out.x = self.x.copy()
         out.z = self.z.copy()
         out.sign = self.sign.copy()
@@ -233,25 +435,39 @@ class Tableau:
     # -- gates ----------------------------------------------------------------
 
     def h(self, q: int) -> None:
-        self.sign ^= self.x[:, q] & self.z[:, q]
-        self.x[:, q], self.z[:, q] = self.z[:, q].copy(), self.x[:, q].copy()
+        w, b = q >> 6, np.uint64(q & 63)
+        mask = _ONE << b
+        xw = self.x[:, w]
+        zw = self.z[:, w]
+        self.sign ^= (xw & zw & mask) != 0
+        diff = (xw ^ zw) & mask
+        xw ^= diff
+        zw ^= diff
 
     def s(self, q: int) -> None:
-        self.sign ^= self.x[:, q] & self.z[:, q]
-        self.z[:, q] ^= self.x[:, q]
+        w, b = q >> 6, np.uint64(q & 63)
+        mask = _ONE << b
+        xw = self.x[:, w]
+        zw = self.z[:, w]
+        self.sign ^= (xw & zw & mask) != 0
+        zw ^= xw & mask
 
     def cx(self, c: int, t: int) -> None:
-        self.sign ^= (
-            self.x[:, c] & self.z[:, t] & (self.x[:, t] ^ self.z[:, c] ^ True)
-        )
-        self.x[:, t] ^= self.x[:, c]
-        self.z[:, c] ^= self.z[:, t]
+        wc, bc = c >> 6, np.uint64(c & 63)
+        wt, bt = t >> 6, np.uint64(t & 63)
+        xc = (self.x[:, wc] >> bc) & _ONE
+        zt = (self.z[:, wt] >> bt) & _ONE
+        xt = (self.x[:, wt] >> bt) & _ONE
+        zc = (self.z[:, wc] >> bc) & _ONE
+        self.sign ^= (xc & zt & (xt ^ zc ^ _ONE)) != 0
+        self.x[:, wt] ^= xc << bt
+        self.z[:, wc] ^= zt << bc
 
     def x_gate(self, q: int) -> None:
-        self.sign ^= self.z[:, q]
+        self.sign ^= (self.z[:, q >> 6] & (_ONE << np.uint64(q & 63))) != 0
 
     def z_gate(self, q: int) -> None:
-        self.sign ^= self.x[:, q]
+        self.sign ^= (self.x[:, q >> 6] & (_ONE << np.uint64(q & 63))) != 0
 
     def apply_operation(self, gate, qubits: tuple[int, ...]) -> None:
         name = gate.name
@@ -276,51 +492,71 @@ class Tableau:
                     self.cx(*sub_qubits)
 
     def apply_circuit(self, circuit: Circuit) -> None:
+        """Apply a Clifford circuit as fused word-parallel gate layers.
+
+        Gate columns want rows packed together (64 rows of a column per
+        word) while row products want qubits packed together, so the
+        tableau is bit-transposed into row-packed form once, all fused
+        layers run there, and the result is transposed back — both
+        conversions are C-speed ``packbits`` calls, amortised over the
+        whole circuit.
+        """
         if circuit.n_qubits != self.n:
             raise ValueError("circuit width does not match tableau")
-        for op in circuit.ops:
-            if not op.gate.is_clifford:
-                raise ValueError(
-                    f"non-Clifford gate {op.gate!r} cannot run on the tableau "
-                    "simulator"
-                )
-            self.apply_operation(op.gate, op.qubits)
+        layers = compile_clifford_layers(circuit)
+        if not layers:
+            return
+        rows = 2 * self.n
+        x = _to_row_packed(self.x, rows, self.n)
+        z = _to_row_packed(self.z, rows, self.n)
+        sign = _pack_bits(self.sign)
+        _apply_layers_row_packed(layers, x, z, sign)
+        self.x = _from_row_packed(x, rows, self.n)
+        self.z = _from_row_packed(z, rows, self.n)
+        self.sign = _unpack_bits(sign, rows)
 
     # -- row products -----------------------------------------------------------
 
     def _multiply_rows_into(self, targets: np.ndarray, source: int) -> None:
-        """Row_t <- Row_s * Row_t for every t in ``targets`` (vectorised).
+        """Row_t <- Row_s * Row_t for every t in ``targets`` (word-parallel).
 
         Phases: with rows R = (-1)^s i^(x.z) X^x Z^z, the product phase
         exponent (power of i) is
             t = x1.z1 + x2.z2 + 2*(z1.x2) + 2*s1 + 2*s2
-        and the result sign is (t - x12.z12)/2 mod 2.  For stabilizer-group
-        products the difference is always even; destabilizer rows may pick
-        up an irrelevant half-phase which we truncate (their signs are never
-        read).
+        and the result sign is (t - x12.z12)/2 mod 2; all dot products are
+        word-wide popcounts.  For stabilizer-group products the difference
+        is always even; destabilizer rows may pick up an irrelevant
+        half-phase which we truncate (their signs are never read).
         """
-        if len(targets) == 0:
+        targets = np.asarray(targets)
+        if targets.size == 0:
             return
         x1, z1 = self.x[source], self.z[source]
         x2, z2 = self.x[targets], self.z[targets]
-        c1 = int(np.count_nonzero(x1 & z1))
-        c2 = (x2 & z2).sum(axis=1)
-        cross = (z1[None, :] & x2).sum(axis=1)
+        ones = self._ones8
+        c1 = int(np.bitwise_count(x1 & z1).sum()) & 3
+        c2 = np.bitwise_count(x2 & z2) @ ones
+        cross = np.bitwise_count(z1[None, :] & x2) @ ones
         new_x = x2 ^ x1[None, :]
         new_z = z2 ^ z1[None, :]
-        c12 = (new_x & new_z).sum(axis=1)
+        c12 = np.bitwise_count(new_x & new_z) @ ones
+        # uint8 arithmetic wraps mod 256, which preserves the mod-4 phase
         total = c1 + c2 + 2 * cross
         half = ((total - c12) % 4) >= 2
         self.sign[targets] = self.sign[targets] ^ self.sign[source] ^ half
-        self.sym[targets] ^= self.sym[source][None, :]
+        src_sym = self.sym[source]
+        if src_sym.any():
+            self.sym[targets] ^= src_sym[None, :]
         self.x[targets] = new_x
         self.z[targets] = new_z
 
     # -- measurement -----------------------------------------------------------
 
     def _grow_symbols(self) -> int:
-        if self.n_symbols == self.sym.shape[1]:
-            extra = np.zeros((2 * self.n, max(8, self.sym.shape[1])), dtype=bool)
+        if self.n_symbols == 64 * self.sym.shape[1]:
+            extra = np.zeros(
+                (2 * self.n, max(1, self.sym.shape[1])), dtype=np.uint64
+            )
             self.sym = np.concatenate([self.sym, extra], axis=1)
         index = self.n_symbols
         self.n_symbols += 1
@@ -345,12 +581,14 @@ class Tableau:
         return self._measure_impl(q, symbolic=True, rng=None)
 
     def _measure_impl(self, q, symbolic, rng):
-        stab = slice(self.n, 2 * self.n)
-        anticommuting = np.flatnonzero(self.x[stab, q]) + self.n
-        if len(anticommuting) > 0:
-            p = int(anticommuting[0])
-            others = np.flatnonzero(self.x[:, q])
-            others = others[others != p]
+        w, b = q >> 6, np.uint64(q & 63)
+        col = self.x[:, w] & (_ONE << b)
+        hits = np.flatnonzero(col)
+        # first hit at or past n is the stabilizer pivot (hits is sorted)
+        pivot_pos = int(np.searchsorted(hits, self.n))
+        if pivot_pos < hits.size:
+            p = int(hits[pivot_pos])
+            others = np.delete(hits, pivot_pos)
             self._multiply_rows_into(others, p)
             # destabilizer p-n <- old stabilizer p ; stabilizer p <- +/- Z_q
             d = p - self.n
@@ -358,44 +596,61 @@ class Tableau:
             self.z[d] = self.z[p]
             self.sign[d] = self.sign[p]
             self.sym[d] = self.sym[p]
-            self.x[p] = False
-            self.z[p] = False
-            self.z[p, q] = True
-            self.sym[p] = False
+            self.x[p] = 0
+            self.z[p] = 0
+            self.z[p, w] = _ONE << b
+            self.sym[p] = 0
             if symbolic:
                 k = self._grow_symbols()
                 self.sign[p] = False
-                self.sym[p, k] = True
+                self.sym[p, k >> 6] = _ONE << np.uint64(k & 63)
                 coeffs = np.zeros(self.n_symbols, dtype=bool)
                 coeffs[k] = True
                 return coeffs, False
             outcome = int(rng.integers(2))
             self.sign[p] = bool(outcome)
             return outcome
-        # deterministic: accumulate product of stabilizers indicated by
-        # destabilizers that anticommute with Z_q
-        rows = np.flatnonzero(self.x[: self.n, q]) + self.n
-        acc_x = np.zeros(self.n, dtype=bool)
-        acc_z = np.zeros(self.n, dtype=bool)
-        acc_phase = 0  # power of i
-        acc_sign = False
-        acc_sym = np.zeros(self.sym.shape[1], dtype=bool)
-        for r in rows:
-            x2, z2 = self.x[r], self.z[r]
-            cross = int(np.count_nonzero(acc_z & x2))
-            acc_phase += int(np.count_nonzero(x2 & z2)) + 2 * cross
-            acc_sign ^= bool(self.sign[r])
-            acc_sym ^= self.sym[r]
-            acc_x ^= x2
-            acc_z ^= z2
-        # the accumulated operator must be +/- Z_q
-        c12 = int(np.count_nonzero(acc_x & acc_z))
-        half = ((acc_phase - c12) % 4) >= 2
-        sign = acc_sign ^ half
+        # deterministic: the outcome is the sign of the product of the
+        # stabilizers selected by destabilizers anticommuting with Z_q
+        # (every hit is a destabilizer row here: pivot_pos == hits.size)
+        rows = hits + self.n
+        if rows.size == 0:
+            if symbolic:
+                return np.zeros(self.n_symbols, dtype=bool), False
+            return 0
+        xs = self.x[rows]
+        zs = self.z[rows]
+        syms = self.sym[rows]
+        # represent each row as i^t X^x Z^z with t = x.z + 2*sign; the
+        # selected stabilizers commute, so a pairwise tree product (with
+        # the i^(2 z_a.x_b) reordering phase) is order-independent
+        ones = self._ones8
+        t = (
+            np.bitwise_count(xs & zs) @ ones.astype(np.int64)
+            + 2 * self.sign[rows]
+        ) % 4
+        while xs.shape[0] > 1:
+            if xs.shape[0] & 1:
+                pad = np.zeros((1, xs.shape[1]), dtype=np.uint64)
+                xs = np.concatenate([xs, pad])
+                zs = np.concatenate([zs, pad])
+                syms = np.concatenate(
+                    [syms, np.zeros((1, syms.shape[1]), dtype=np.uint64)]
+                )
+                t = np.concatenate([t, [0]])
+            cross = np.bitwise_count(
+                np.ascontiguousarray(zs[0::2]) & xs[1::2]
+            ) @ ones
+            t = (t[0::2] + t[1::2] + 2 * cross) % 4
+            xs = xs[0::2] ^ xs[1::2]
+            zs = zs[0::2] ^ zs[1::2]
+            syms = syms[0::2] ^ syms[1::2]
+        # the accumulated operator is +/- Z_q (x = 0, so i^t must be +/-1)
+        sign = bool(t[0] == 2)
+        acc_sym = _unpack_bits(syms[0], self.n_symbols)
         if symbolic:
-            coeffs = acc_sym[: self.n_symbols].copy()
-            return coeffs, bool(sign)
-        if acc_sym[: self.n_symbols].any():  # pragma: no cover - defensive
+            return acc_sym, sign
+        if acc_sym.any():  # pragma: no cover - defensive
             raise RuntimeError("deterministic outcome depends on unresolved symbols")
         return int(sign)
 
@@ -407,7 +662,9 @@ class Tableau:
         Collapses this tableau (work on a copy if it is still needed).
         """
         self.n_symbols = 0
-        self.sym = np.zeros((2 * self.n, max(8, len(qubits))), dtype=bool)
+        self.sym = np.zeros(
+            (2 * self.n, max(1, (len(qubits) + 63) >> 6)), dtype=np.uint64
+        )
         rows = []
         consts = []
         for q in qubits:
@@ -426,33 +683,32 @@ class Tableau:
         """Exact ``<P>`` of the stabilizer state: always -1, 0, or +1.
 
         This is the structural fact exploited by the paper's Section IX
-        optimizations.
+        optimizations.  Anticommutation parities are word-wide popcounts
+        against the packed Pauli, so the generator scan is ``O(n^2/64)``.
         """
         if pauli.n != self.n:
             raise ValueError("Pauli width does not match tableau")
         if self.n_symbols:
             raise ValueError("expectation undefined after symbolic collapse")
-        stab_x = self.x[self.n :]
-        stab_z = self.z[self.n :]
+        px = _pack_bits(pauli.x, self.n_words)
+        pz = _pack_bits(pauli.z, self.n_words)
         # anticommutation of P with each stabilizer generator
+        ones = self._ones8
         anti = (
-            (stab_x & pauli.z[None, :]).sum(axis=1)
-            + (stab_z & pauli.x[None, :]).sum(axis=1)
-        ) % 2
+            np.bitwise_count(self.x[self.n :] & pz) @ ones
+            + np.bitwise_count(self.z[self.n :] & px) @ ones
+        ) & 1
         if anti.any():
             return 0
         # P (up to sign) = product of stabilizers s_i over rows whose
         # destabilizer anticommutes with P
-        destab_x = self.x[: self.n]
-        destab_z = self.z[: self.n]
         select = (
-            (destab_x & pauli.z[None, :]).sum(axis=1)
-            + (destab_z & pauli.x[None, :]).sum(axis=1)
-        ) % 2
+            np.bitwise_count(self.x[: self.n] & pz) @ ones
+            + np.bitwise_count(self.z[: self.n] & px) @ ones
+        ) & 1
         product = PauliString.identity(self.n)
         for i in np.flatnonzero(select):
-            row = self.n + i
-            product = product * self._row_pauli(row)
+            product = product * self._row_pauli(self.n + int(i))
         if not (
             np.array_equal(product.x, pauli.x) and np.array_equal(product.z, pauli.z)
         ):
@@ -465,9 +721,13 @@ class Tableau:
         raise ValueError("expectation of a non-Hermitian Pauli is not +/-1")
 
     def _row_pauli(self, row: int) -> PauliString:
-        c = int(np.count_nonzero(self.x[row] & self.z[row]))
+        c = int(np.bitwise_count(self.x[row] & self.z[row]).sum())
         phase = (c + 2 * int(self.sign[row])) % 4
-        return PauliString(self.x[row], self.z[row], phase)
+        return PauliString(
+            _unpack_bits(self.x[row], self.n),
+            _unpack_bits(self.z[row], self.n),
+            phase,
+        )
 
     def stabilizers(self) -> list[PauliString]:
         """The n stabilizer generators as phase-correct Pauli strings."""

@@ -332,3 +332,57 @@ class TestSuperSimIntegration:
         assert hellinger_fidelity(expected, result.distribution) > 1 - 1e-9
         assert "mps" in result.backend_usage
         assert "stabilizer" in result.backend_usage
+
+
+class TestCostCalibration:
+    def test_measure_cost_scales_returns_positive_floats(self):
+        from repro.backends.calibration import measure_cost_scales
+
+        scales = measure_cost_scales(["stabilizer", "statevector"], repeats=1)
+        assert set(scales) == {"stabilizer", "statevector"}
+        assert all(v > 0 for v in scales.values())
+
+    def test_calibration_circuit_respects_capabilities(self):
+        from repro.backends import get_backend
+        from repro.backends.calibration import calibration_circuit
+
+        for name in ("stabilizer", "chform", "statevector", "extended_stabilizer"):
+            backend = get_backend(name)
+            circuit = calibration_circuit(backend)
+            from repro.backends.base import CircuitFeatures
+
+            features = CircuitFeatures.from_circuit(circuit)
+            assert backend.can_handle(features, exact=True)
+
+    def test_router_applies_cost_scales(self):
+        from repro.backends import BackendRouter, get_backend
+        from repro.backends.base import CircuitFeatures
+
+        circuit = random_clifford_circuit(6, 4, rng=0)
+        features = CircuitFeatures.from_circuit(circuit)
+        stab = get_backend("stabilizer")
+        chform = get_backend("chform")
+        router = BackendRouter([stab, chform])
+        assert router.select(features).name == "stabilizer"
+        # an absurd penalty on the tableau flips the routing decision
+        penalised = BackendRouter(
+            [stab, chform], cost_scales={"stabilizer": 1e18}
+        )
+        assert penalised.select(features).name == "chform"
+
+    def test_router_rejects_nonpositive_scales(self):
+        from repro.backends import BackendRouter
+
+        with pytest.raises(ValueError):
+            BackendRouter(cost_scales={"stabilizer": 0.0})
+
+    def test_calibrated_routing_end_to_end(self):
+        from repro.backends import BackendRouter
+        from repro.backends.calibration import measure_cost_scales
+
+        scales = measure_cost_scales(repeats=1)
+        router = BackendRouter(cost_scales=scales)
+        c = near_clifford(9)
+        expected = SV.probabilities(c)
+        result = SuperSim(router=router).run(c)
+        assert hellinger_fidelity(expected, result.distribution) > 1 - 1e-9

@@ -1,0 +1,328 @@
+"""Property tests: packed engines match the legacy reference bit-for-bit.
+
+The bit-packed word-parallel tableau must be indistinguishable from the
+byte-per-bit :class:`~repro.stabilizer._reference.ReferenceTableau` — same
+generator bits, same signs, same symbolic affine form, same measurement
+outcomes for the same rng stream — and the einsum reconstruction must
+reproduce the legacy assignment loop to machine precision on random cut
+placements.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.distributions import (
+    counts_from_bit_rows,
+    pack_bit_rows,
+)
+from repro.circuits import (
+    Circuit,
+    gates,
+    inject_t_gates,
+    random_clifford_circuit,
+)
+from repro.core import SuperSim, cut_circuit
+from repro.core.fragments import Cut
+from repro.core.reconstruction import reconstruct_distribution
+from repro.core.tomography import build_fragment_tensor
+from repro.paulis import PauliString
+from repro.stabilizer._reference import ReferenceTableau
+from repro.stabilizer.tableau import (
+    Tableau,
+    _compile_ops,
+    _unpack_bits,
+    compile_clifford_layers,
+)
+
+# -- packed tableau vs reference ----------------------------------------------
+
+
+def _random_pair(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 14))
+    circuit = random_clifford_circuit(n, int(rng.integers(1, 20)), rng)
+    packed = Tableau(n)
+    packed.apply_circuit(circuit)
+    reference = ReferenceTableau(n)
+    reference.apply_circuit(circuit)
+    return n, circuit, packed, reference, rng
+
+
+class TestPackedTableauEquivalence:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_state_bits_match(self, seed):
+        n, _, packed, reference, _ = _random_pair(seed)
+        assert np.array_equal(_unpack_bits(packed.x, n), reference.x)
+        assert np.array_equal(_unpack_bits(packed.z, n), reference.z)
+        assert np.array_equal(packed.sign, reference.sign)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_stabilizers_match_with_phases(self, seed):
+        _, _, packed, reference, _ = _random_pair(seed)
+        for ours, theirs in zip(
+            packed.stabilizers() + packed.destabilizers(),
+            reference.stabilizers() + reference.destabilizers(),
+        ):
+            assert ours == theirs
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_affine_distribution_bit_for_bit(self, seed):
+        n, _, packed, reference, _ = _random_pair(seed)
+        ours = packed.measurement_distribution(tuple(range(n)))
+        theirs = reference.measurement_distribution(tuple(range(n)))
+        assert np.array_equal(ours.A, theirs.A)
+        assert np.array_equal(ours.b, theirs.b)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_measurements_match_same_rng(self, seed):
+        n, _, packed, reference, _ = _random_pair(seed)
+        ours_rng = np.random.default_rng(1000 + seed)
+        theirs_rng = np.random.default_rng(1000 + seed)
+        for q in range(n):
+            assert packed.measure(q, ours_rng) == reference.measure(
+                q, theirs_rng
+            )
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_expectations_match(self, seed):
+        n, _, packed, reference, rng = _random_pair(seed)
+        for _ in range(12):
+            label = "".join(rng.choice(list("IXYZ")) for _ in range(n))
+            pauli = PauliString.from_label(label)
+            assert packed.expectation(pauli) == reference.expectation(pauli)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_single_gate_api_matches_layered(self, seed):
+        """Per-gate calls and fused apply_circuit agree exactly."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 10))
+        circuit = random_clifford_circuit(n, int(rng.integers(2, 12)), rng)
+        layered = Tableau(n)
+        layered.apply_circuit(circuit)
+        stepped = Tableau(n)
+        for op in circuit.ops:
+            stepped.apply_operation(op.gate, op.qubits)
+        assert np.array_equal(layered.x, stepped.x)
+        assert np.array_equal(layered.z, stepped.z)
+        assert np.array_equal(layered.sign, stepped.sign)
+
+    def test_non_clifford_rejected(self):
+        circuit = Circuit(1).append(gates.T, 0)
+        with pytest.raises(ValueError):
+            Tableau(1).apply_circuit(circuit)
+
+    def test_wide_tableau_crosses_word_boundaries(self):
+        """>64 qubits exercises multi-word rows."""
+        n = 130
+        circuit = Circuit(n).append(gates.H, 0)
+        for q in range(n - 1):
+            circuit.append(gates.CX, q, q + 1)
+        packed = Tableau(n)
+        packed.apply_circuit(circuit)
+        reference = ReferenceTableau(n)
+        reference.apply_circuit(circuit)
+        assert np.array_equal(_unpack_bits(packed.x, n), reference.x)
+        ours = packed.measurement_distribution(tuple(range(n)))
+        theirs = reference.measurement_distribution(tuple(range(n)))
+        assert np.array_equal(ours.A, theirs.A)
+        assert np.array_equal(ours.b, theirs.b)
+
+
+class TestLayerCompiler:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_layers_partition_ops_and_stay_disjoint(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = random_clifford_circuit(8, 10, rng)
+        layers = _compile_ops(circuit.ops)
+        for name, qarr in layers:
+            flat = qarr.reshape(-1)
+            assert len(set(flat.tolist())) == flat.size, "layer qubits collide"
+
+    def test_cache_invalidates_on_append(self):
+        circuit = Circuit(2).append(gates.H, 0)
+        first = compile_clifford_layers(circuit)
+        assert len(first) == 1
+        circuit.append(gates.CX, 0, 1)
+        second = compile_clifford_layers(circuit)
+        assert len(second) == 2
+
+    def test_cache_reused_when_unchanged(self):
+        circuit = Circuit(2).append(gates.H, 0).append(gates.CX, 0, 1)
+        assert compile_clifford_layers(circuit) is compile_clifford_layers(circuit)
+
+    def test_cache_invalidates_on_inplace_replacement(self):
+        """Same-length in-place op mutation must not reuse stale layers."""
+        from repro.circuits.circuit import Operation
+
+        circuit = Circuit(1).append(gates.H, 0)
+        stale = compile_clifford_layers(circuit)
+        circuit.ops[0] = Operation(gates.S, (0,))
+        fresh = compile_clifford_layers(circuit)
+        assert fresh is not stale
+        assert fresh[0][0] == "S"
+        tableau = Tableau(1)
+        tableau.apply_circuit(circuit)
+        assert tableau.stabilizers()[0] == PauliString.from_label("Z")
+
+
+# -- einsum reconstruction vs legacy loop -------------------------------------
+
+
+def _tensors_for(circuit, cuts=None):
+    sim = SuperSim()
+    cc = sim.cut(circuit, cuts)
+    data = sim._evaluator().evaluate_all(cc.fragments)
+    keep = list(circuit.measured_qubits)
+    keep_set = set(keep)
+    kept_locals = [
+        [lq for oq, lq in f.circuit_outputs if oq in keep_set]
+        for f in cc.fragments
+    ]
+    tensors = [
+        build_fragment_tensor(d, kl) for d, kl in zip(data, kept_locals)
+    ]
+    return cc, tensors, kept_locals, keep
+
+
+def _chain_workload(blocks, width, depth, seed):
+    """A chain of Clifford blocks linked by one cut qubit each."""
+    rng = np.random.default_rng(seed)
+    total = blocks * (width - 1) + 1
+    circuit = Circuit(total)
+    cuts = []
+    for b in range(blocks):
+        lo = b * (width - 1)
+        if b > 0:
+            boundary_ops = sum(1 for op in circuit.ops if lo in op.qubits)
+            if boundary_ops == 0:
+                circuit.append(gates.H, lo)
+                boundary_ops = 1
+            cuts.append(Cut(lo, boundary_ops))
+        sub = random_clifford_circuit(width, depth, rng)
+        circuit.extend(
+            sub.map_qubits({i: lo + i for i in range(width)}, total).ops
+        )
+    circuit.measure_all()
+    return circuit, cuts
+
+
+def _assert_reconstructions_match(cc, tensors, kept_locals, keep, prune):
+    loop_dist, loop_stats = reconstruct_distribution(
+        cc, tensors, kept_locals, keep, prune_zeros=prune, method="loop"
+    )
+    einsum_dist, einsum_stats = reconstruct_distribution(
+        cc, tensors, kept_locals, keep, prune_zeros=prune, method="einsum"
+    )
+    auto_dist, _ = reconstruct_distribution(
+        cc, tensors, kept_locals, keep, prune_zeros=prune, method="auto"
+    )
+    assert einsum_stats.terms_total == loop_stats.terms_total
+    assert einsum_stats.terms_skipped == loop_stats.terms_skipped
+    for dist in (einsum_dist, auto_dist):
+        keys = set(dist.probs) | set(loop_dist.probs)
+        for key in keys:
+            assert abs(dist[key] - loop_dist[key]) < 1e-9
+
+
+class TestEinsumMatchesLoop:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("prune", [True, False])
+    def test_random_isolate_cuts(self, seed, prune):
+        rng = np.random.default_rng(seed)
+        circuit = inject_t_gates(
+            random_clifford_circuit(int(rng.integers(4, 8)), 5, rng),
+            int(rng.integers(1, 3)),
+            rng,
+        )
+        cc, tensors, kept_locals, keep = _tensors_for(circuit)
+        _assert_reconstructions_match(cc, tensors, kept_locals, keep, prune)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("prune", [True, False])
+    def test_random_chain_cuts(self, seed, prune):
+        rng = np.random.default_rng(100 + seed)
+        circuit, cuts = _chain_workload(
+            blocks=int(rng.integers(3, 5)),
+            width=int(rng.integers(3, 5)),
+            depth=5,
+            seed=200 + seed,
+        )
+        cc, tensors, kept_locals, keep = _tensors_for(circuit, cuts)
+        assert cc.num_cuts >= 2
+        _assert_reconstructions_match(cc, tensors, kept_locals, keep, prune)
+
+    def test_distribution_has_no_explicit_near_zeros(self):
+        rng = np.random.default_rng(5)
+        circuit = inject_t_gates(random_clifford_circuit(5, 5, rng), 1, rng)
+        cc, tensors, kept_locals, keep = _tensors_for(circuit)
+        dist, _ = reconstruct_distribution(cc, tensors, kept_locals, keep)
+        assert all(abs(v) > 1e-12 for v in dist.probs.values())
+
+
+# -- packed-bit helpers --------------------------------------------------------
+
+
+class TestPackedBitHelpers:
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(1, 40),
+        st.integers(1, 80),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pack_bit_rows_matches_loop(self, seed, width, rows):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(rows, width)).astype(bool)
+        keys = pack_bit_rows(bits)
+        for row, key in zip(bits, keys):
+            expected = 0
+            for bit in row:
+                expected = (expected << 1) | int(bit)
+            assert int(key) == expected
+
+    def test_pack_bit_rows_wide_uses_python_ints(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=(5, 80)).astype(bool)
+        keys = pack_bit_rows(bits)
+        assert keys.dtype == object
+        assert int(keys[0]) < 2**80
+
+    def test_counts_from_bit_rows(self):
+        bits = np.array([[1, 0], [1, 0], [0, 1]], dtype=bool)
+        assert counts_from_bit_rows(bits) == {2: 2, 1: 1}
+
+
+class TestSparseCompaction:
+    def test_compaction_preserves_results(self, monkeypatch):
+        """The sparse path's periodic buffer fold must not change output."""
+        import repro.core.reconstruction as recon
+        from repro.core.tomography import build_sparse_fragment_tensor
+        from repro.core.reconstruction import reconstruct_sparse_distribution
+
+        rng = np.random.default_rng(9)
+        circuit = inject_t_gates(random_clifford_circuit(5, 4, rng), 1, rng)
+        sim = SuperSim()
+        cc = sim.cut(circuit)
+        data = sim._evaluator().evaluate_all(cc.fragments)
+        keep = list(circuit.measured_qubits)
+        keep_set = set(keep)
+        kept_locals = [
+            [lq for oq, lq in f.circuit_outputs if oq in keep_set]
+            for f in cc.fragments
+        ]
+        tensors = [
+            build_sparse_fragment_tensor(d, kl)
+            for d, kl in zip(data, kept_locals)
+        ]
+        baseline, _ = reconstruct_sparse_distribution(
+            cc, tensors, kept_locals, keep
+        )
+        # a floor of 2 forces a fold after nearly every surviving term
+        monkeypatch.setattr(recon, "_SPARSE_COMPACT_FLOOR", 2)
+        compacted, _ = reconstruct_sparse_distribution(
+            cc, tensors, kept_locals, keep
+        )
+        keys = set(baseline.probs) | set(compacted.probs)
+        for key in keys:
+            assert abs(baseline[key] - compacted[key]) < 1e-12
