@@ -26,7 +26,7 @@ from repro.apps.qaoa import near_clifford_qaoa
 from repro.apps.qec import near_clifford_phase_code
 from repro.backends import get_backend
 from repro.circuits.random import random_clifford_circuit
-from repro.core import SuperSim
+from repro.core import SamplingConfig, SuperSim
 from repro.statevector import StatevectorSimulator
 
 SHOTS = 5000
@@ -95,7 +95,7 @@ run_extended_stabilizer = backend_task("extended_stabilizer")
 
 
 def run_supersim(circuit, shots=SHOTS) -> np.ndarray:
-    sim = SuperSim(shots=shots, rng=0)
+    sim = SuperSim(sampling=SamplingConfig(shots=shots, seed=0))
     return sim.single_qubit_marginals(circuit)
 
 

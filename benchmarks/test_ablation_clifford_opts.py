@@ -20,18 +20,24 @@ from benchmarks.conftest import (
     record,
     reference_marginals,
 )
-from repro.core import SuperSim
+from repro.core import ExecutionConfig, SamplingConfig, SuperSim
 
 WIDTH = 20
 
 CONFIGS = {
-    "baseline": dict(shots=SHOTS, prune_zeros=False),
-    "prune": dict(shots=SHOTS, prune_zeros=True),
+    "baseline": dict(
+        sampling=SamplingConfig(shots=SHOTS, seed=0),
+        execution=ExecutionConfig(prune_zeros=False),
+    ),
+    "prune": dict(
+        sampling=SamplingConfig(shots=SHOTS, seed=0),
+        execution=ExecutionConfig(prune_zeros=True),
+    ),
     "full": dict(
-        shots=SHOTS,
-        clifford_shots=64,
-        snap_clifford=True,
-        prune_zeros=True,
+        sampling=SamplingConfig(
+            shots=SHOTS, clifford_shots=64, snap_clifford=True, seed=0
+        ),
+        execution=ExecutionConfig(prune_zeros=True),
     ),
 }
 
@@ -39,7 +45,7 @@ CONFIGS = {
 @pytest.mark.parametrize("config", list(CONFIGS))
 def test_clifford_optimizations(benchmark, config):
     circuit = hwea_workload(WIDTH)
-    sim = SuperSim(rng=0, **CONFIGS[config])
+    sim = SuperSim(**CONFIGS[config])
 
     def task():
         return sim.single_qubit_marginals(circuit)

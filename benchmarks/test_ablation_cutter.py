@@ -16,7 +16,7 @@ import pytest
 
 from benchmarks.conftest import record
 from repro.circuits import Circuit, gates, random_clifford_circuit
-from repro.core import CutStrategy, SuperSim, find_cuts
+from repro.core import CutConfig, CutStrategy, SuperSim, find_cuts
 
 WIDTH = 12
 
@@ -34,7 +34,7 @@ def staged_workload():
 @pytest.mark.parametrize("strategy", [CutStrategy.ISOLATE, CutStrategy.GREEDY_MERGE])
 def test_cut_strategy(benchmark, strategy):
     circuit = staged_workload()
-    sim = SuperSim(strategy=strategy)
+    sim = SuperSim(cut=CutConfig(strategy=strategy))
 
     def task():
         return sim.single_qubit_marginals(circuit)

@@ -18,7 +18,7 @@ import pytest
 
 from benchmarks.conftest import SHOTS, record, repcode_workload
 from repro.analysis import hellinger_fidelity
-from repro.core import SuperSim
+from repro.core import SamplingConfig, SuperSim
 from repro.extended_stabilizer import ExtendedStabilizerSimulator
 from repro.mps import MPSSimulator
 from repro.statevector import StatevectorSimulator
@@ -35,7 +35,9 @@ def ground_truth(distance: int):
 def run(sim: str, distance: int):
     circuit = repcode_workload(distance)
     if sim == "supersim":
-        return SuperSim(shots=SHOTS, rng=0).sparse_probabilities(circuit)
+        return SuperSim(
+            sampling=SamplingConfig(shots=SHOTS, seed=0)
+        ).sparse_probabilities(circuit)
     if sim == "statevector":
         return StatevectorSimulator(max_qubits=24).sample(circuit, SHOTS, rng=0)
     if sim == "mps":

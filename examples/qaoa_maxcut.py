@@ -17,21 +17,14 @@ import time
 import numpy as np
 
 from repro.analysis import hellinger_fidelity
-from repro.apps.qaoa import expected_cut, near_clifford_qaoa, sk_model
-from repro.apps.vqe import pauli_expectation
+from repro.apps.qaoa import (
+    expected_cut,
+    expected_cut_from_correlations,
+    near_clifford_qaoa,
+    sk_model,
+)
 from repro.core import SuperSim
-from repro.paulis import PauliString
 from repro.statevector import StatevectorSimulator
-
-
-def expected_cut_from_correlations(n, couplings, circuit, sim) -> float:
-    """E[cut] = sum_ij w_ij (1 - <Z_i Z_j>)/2 via narrow reconstructions."""
-    total = 0.0
-    for (i, j), w in couplings.items():
-        zz = pauli_expectation(circuit, PauliString.from_label(
-            "".join("Z" if q in (i, j) else "I" for q in range(n))), sim)
-        total += w * (1 - zz) / 2
-    return total
 
 
 def main() -> None:
@@ -60,7 +53,7 @@ def main() -> None:
         result = sim.run(circuit, keep_qubits=[0])  # warm the fragments
         elapsed = time.perf_counter() - start
         start = time.perf_counter()
-        value = expected_cut_from_correlations(n, couplings, circuit, sim)
+        value = expected_cut_from_correlations(couplings, circuit, sim)
         cut_time = time.perf_counter() - start
         print(f"{n:>4} {len(circuit):>6} {result.num_cuts:>5} "
               f"{elapsed + cut_time:8.2f}s  {value:+.3f}")

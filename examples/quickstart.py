@@ -1,13 +1,16 @@
-"""Quickstart: simulate a near-Clifford circuit with Clifford-based cutting.
+"""Quickstart: the staged plan→execute pipeline on a near-Clifford circuit.
 
 Builds a 12-qubit GHZ-style Clifford circuit, injects one T gate in the
-middle, and compares SuperSim's reconstructed output distribution against
-exact statevector simulation.
+middle, then walks the pipeline explicitly:
+
+1. ``plan()``   — cut the circuit and route every fragment (no simulation);
+2. ``estimate()`` — price the plan as a zero-simulation dry run;
+3. ``execute()`` — evaluate fragment variants, reconstruct, validate
+   against exact statevector simulation;
+4. run again — the variant cache turns the repeat into dictionary lookups.
 
 Run:  python examples/quickstart.py
 """
-
-import numpy as np
 
 from repro.analysis import hellinger_fidelity
 from repro.circuits import Circuit, gates, inject_t_gates
@@ -26,22 +29,34 @@ def main() -> None:
     print(f"circuit: {circuit}")
     print(f"non-Clifford gates: {circuit.num_non_clifford}")
 
-    # --- SuperSim: cut -> evaluate fragments -> reconstruct -----------------
+    # --- stage 1: plan — cut placement + backend routing, zero simulation ---
     sim = SuperSim()  # exact fragment evaluation
-    result = sim.run(circuit)
-    print(f"\ncuts: {result.num_cuts}  fragments: {result.num_fragments} "
-          f"(sizes {[f.n_qubits for f in result.cut_circuit.fragments]})")
-    print(f"fragment variants evaluated: {result.num_variants}")
-    print(f"variants simulated per backend: {result.backend_usage}")
-    print(f"reconstruction terms: 4^{result.num_cuts} = "
-          f"{result.cut_circuit.reconstruction_terms} "
-          f"({result.stats.terms_skipped} pruned as zero)")
+    plan = sim.plan(circuit)
+    print(f"\ncuts: {plan.num_cuts}  fragments: {plan.num_fragments} "
+          f"(sizes {[f.n_qubits for f in plan.cut_circuit.fragments]})")
+
+    # --- stage 2: estimate — dry-run pricing before paying anything ---------
+    estimate = plan.estimate()
+    for fragment_plan in estimate.fragments:
+        print(f"  {fragment_plan}")
+    print(f"predicted: {estimate.num_variants} variants "
+          f"({estimate.unique_variants} unique), "
+          f"4^{estimate.num_cuts} = {estimate.reconstruction_terms} "
+          f"reconstruction terms, model cost ~{estimate.total_cost:.3g}")
+
+    # --- stage 3: execute — evaluate -> tomography -> reconstruct -----------
+    result = plan.execute()
+    print(f"\nvariants simulated per backend: {result.backend_usage}")
+    print(f"reconstruction terms pruned as zero: {result.stats.terms_skipped}")
     for stage in ("cut", "evaluate", "tomography", "reconstruct"):
         print(f"  {stage:<12} {result.timings[stage] * 1e3:8.2f} ms")
 
-    # --- run again: the variant cache carries over ---------------------------
-    again = sim.run(circuit)
-    print(f"\nsecond run: {again.cache_hits} variant cache hits, "
+    # --- stage 4: run again — the variant cache carries over -----------------
+    cached_estimate = sim.plan(circuit).estimate()
+    print(f"\nre-planning predicts {cached_estimate.cached_variants} of "
+          f"{cached_estimate.unique_variants} unique variants already cached")
+    again = sim.run(circuit)  # run() is just plan().execute()
+    print(f"second run: {again.cache_hits} variant cache hits, "
           f"{again.cache_misses} misses "
           f"(evaluate {again.timings['evaluate'] * 1e3:.2f} ms)")
 

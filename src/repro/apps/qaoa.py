@@ -104,3 +104,35 @@ def expected_cut(couplings: dict[tuple[int, int], int], distribution) -> float:
         bits = distribution.bits(outcome)
         total += p * maxcut_value(couplings, bits)
     return total
+
+
+def expected_cut_from_correlations(
+    couplings: dict[tuple[int, int], int],
+    circuit: Circuit,
+    backend=None,
+) -> float:
+    """``E[cut] = sum_ij w_ij (1 - <Z_i Z_j>)/2`` via narrow reconstructions.
+
+    Scales to widths where the full output distribution is out of reach:
+    each edge needs only a two-qubit marginal, so a SuperSim scorer keeps
+    every reconstruction narrow regardless of circuit width.  ``backend``
+    is anything :func:`repro.apps.vqe.as_scorer` accepts (default: an
+    exact ``SuperSim()``); pass an :class:`~repro.core.config.ExecutionConfig`
+    / :class:`~repro.core.config.SamplingConfig` to control evaluation.
+    """
+    from repro.apps.vqe import as_scorer, pauli_expectation
+    from repro.paulis.pauli import PauliString
+
+    if backend is None:
+        from repro.core.supersim import SuperSim
+
+        backend = SuperSim()
+    else:
+        backend = as_scorer(backend)
+    n = circuit.n_qubits
+    total = 0.0
+    for (i, j), w in couplings.items():
+        label = "".join("Z" if q in (i, j) else "I" for q in range(n))
+        zz = pauli_expectation(circuit, PauliString.from_label(label), backend)
+        total += w * (1 - zz) / 2
+    return total

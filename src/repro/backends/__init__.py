@@ -29,7 +29,9 @@ Plugging in a new backend::
         def sample(self, circuit, shots, rng=None): ...
 
     register_backend("mine", MyBackend)
-    SuperSim(backend="mine")            # or let the router score it
+    SuperSim(execution=ExecutionConfig(backend="mine"))
+    # ... or let the router score it, or pin one fragment after planning:
+    # SuperSim().plan(circuit).with_backend(0, "mine").execute()
 """
 
 from repro.backends.adapters import (
@@ -42,7 +44,13 @@ from repro.backends.adapters import (
     as_backend,
 )
 from repro.backends.base import Backend, Capabilities, CircuitFeatures
-from repro.backends.calibration import calibration_circuit, measure_cost_scales
+from repro.backends.calibration import (
+    calibrated_router,
+    calibration_circuit,
+    default_cache_path,
+    host_fingerprint,
+    measure_cost_scales,
+)
 from repro.backends.cache import (
     VariantCache,
     circuit_fingerprint,
@@ -50,6 +58,7 @@ from repro.backends.cache import (
 )
 from repro.backends.registry import (
     available_backends,
+    default_backend_pool,
     get_backend,
     register_backend,
     unregister_backend,
@@ -69,6 +78,9 @@ __all__ = [
     "BackendRouter",
     "NoCapableBackendError",
     "calibration_circuit",
+    "calibrated_router",
+    "default_cache_path",
+    "host_fingerprint",
     "measure_cost_scales",
     "VariantCache",
     "circuit_fingerprint",
@@ -77,6 +89,7 @@ __all__ = [
     "unregister_backend",
     "get_backend",
     "available_backends",
+    "default_backend_pool",
     "as_backend",
     "StabilizerBackend",
     "CHFormBackend",

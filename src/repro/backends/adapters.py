@@ -49,11 +49,14 @@ class StabilizerBackend(Backend):
 
         return FrameSampler(circuit, noise).sample_bits(shots, rng)
 
-    def estimate_cost(self, features: CircuitFeatures) -> float:
+    def estimate_cost(
+        self, features: CircuitFeatures, mode: str = "exact"
+    ) -> float:
         # bit-packed word-parallel tableau: 64 rows advance per machine
         # word, so gates cost ~n/64 per column layer and the measurement
         # sweep ~n^2/64 — the cheapest Clifford engine by a wide margin,
-        # and exact at any width
+        # exact at any width, and its affine readout makes sampling no
+        # more expensive than exact evaluation (mode-independent)
         n = features.n_qubits
         return (
             float(n) * float(features.num_ops + 1) + float(n * n)
@@ -112,10 +115,13 @@ class CHFormBackend(Backend):
         exact = self.probabilities(circuit)
         return Distribution.from_counts(exact.n_bits, exact.sample(shots, rng))
 
-    def estimate_cost(self, features: CircuitFeatures) -> float:
+    def estimate_cost(
+        self, features: CircuitFeatures, mode: str = "exact"
+    ) -> float:
         n = features.n_qubits
-        # gate cost ~ tableau (with a phase-tracking constant), readout
-        # enumerates 2^n amplitudes at O(n^2) each
+        # gate cost ~ tableau (with a phase-tracking constant); readout
+        # enumerates 2^n amplitudes at O(n^2) each — in both modes, since
+        # sample() draws from the enumerated distribution
         return 8.0 * float(n * n) * float(features.num_ops + 1) + float(
             n * n
         ) * float(2 ** min(n, 26))
@@ -139,10 +145,16 @@ class StatevectorBackend(Backend):
     def sample(self, circuit, shots, rng=None) -> Distribution:
         return self.simulator.sample(circuit, shots, rng)
 
-    def estimate_cost(self, features: CircuitFeatures) -> float:
-        # 2^n amplitudes touched per gate, plus a dense-array constant that
-        # keeps the tableau ahead on small all-Clifford fragments
-        return 4.0 * float(2**features.n_qubits) * float(features.num_ops + 1)
+    def estimate_cost(
+        self, features: CircuitFeatures, mode: str = "exact"
+    ) -> float:
+        # 2^n amplitudes touched per gate; exact readout additionally
+        # builds and marginalises the dense 2^n distribution, while
+        # sampling just draws indices from the amplitude array — charging
+        # the full exact constant to sampled fragments over-penalised the
+        # statevector at routing time
+        scale = 4.0 if mode == "exact" else 1.0
+        return scale * float(2**features.n_qubits) * float(features.num_ops + 1)
 
 
 class MPSBackend(Backend):
@@ -162,9 +174,12 @@ class MPSBackend(Backend):
     def sample(self, circuit, shots, rng=None) -> Distribution:
         return self.simulator.sample(circuit, shots, rng)
 
-    def estimate_cost(self, features: CircuitFeatures) -> float:
+    def estimate_cost(
+        self, features: CircuitFeatures, mode: str = "exact"
+    ) -> float:
         # bond dimension grows with entangling depth, capped by width;
-        # SVD per two-qubit gate carries a heavy constant
+        # SVD per two-qubit gate carries a heavy constant.  The chain
+        # dominates in both modes (exact readout is width-capped anyway).
         chi = 2.0 ** min(features.entangling_depth, features.n_qubits // 2, 10)
         return 64.0 * float(features.num_ops + 1) * float(features.n_qubits) * chi**3
 
@@ -206,13 +221,20 @@ class ExtendedStabilizerBackend(Backend):
         # each non-Clifford diagonal doubles the stabilizer rank
         return 2**features.t_count <= self.simulator.max_terms
 
-    def estimate_cost(self, features: CircuitFeatures) -> float:
-        # rank = 2^T terms, each tableau-like per gate; readout costs
-        # rank * n^2 per amplitude over an effectively-2^n support
+    def estimate_cost(
+        self, features: CircuitFeatures, mode: str = "exact"
+    ) -> float:
+        # rank = 2^T terms, each tableau-like per gate; exact readout
+        # costs rank * n^2 per amplitude over an effectively-2^n support,
+        # while the sampled path mixes a norm-estimation chain whose
+        # length is fixed (mixing_steps), not exponential in width
         n = features.n_qubits
         rank = float(2 ** min(features.t_count, 12))
         gate_cost = 16.0 * rank * float(n * n) * float(features.num_ops + 1)
-        readout = rank * float(n * n) * float(2 ** min(n, 26))
+        if mode == "exact":
+            readout = rank * float(n * n) * float(2 ** min(n, 26))
+        else:
+            readout = rank * float(n * n) * float(self.simulator.mixing_steps)
         return gate_cost + readout
 
 

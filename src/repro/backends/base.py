@@ -160,10 +160,19 @@ class Backend(abc.ABC):
             return False
         return True
 
-    def estimate_cost(self, features: CircuitFeatures) -> float:
+    def estimate_cost(
+        self, features: CircuitFeatures, mode: str = "exact"
+    ) -> float:
         """Rough per-variant cost estimate; lower wins at routing time.
 
-        Units are arbitrary but must be comparable across backends.
+        ``mode`` is ``"exact"`` (full ``probabilities`` readout) or
+        ``"sampled"`` (``sample`` / noisy bit sampling) — backends whose
+        exact readout enumerates the output space are much cheaper when
+        only samples are needed, and modelling that keeps the router from
+        over-charging them for sampled fragments.  Units are arbitrary but
+        must be comparable across backends.  Implementations written
+        before the mode split (single-argument signatures) are still
+        accepted by the router.
         """
         return float(features.num_ops + 1) * float(features.n_qubits + 1)
 

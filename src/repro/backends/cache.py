@@ -76,6 +76,20 @@ def noise_fingerprint(noise) -> tuple | None:
         return ("opaque-noise", id(noise), object())
 
 
+def resolve_cache(spec) -> "VariantCache | None":
+    """Coerce a cache spec to an instance or ``None``.
+
+    ``True`` builds a fresh private :class:`VariantCache`, ``False`` /
+    ``None`` disables caching, and an existing instance passes through —
+    the one rule shared by ``SuperSim`` and ``FragmentEvaluator``.
+    """
+    if spec is True:
+        return VariantCache()
+    if spec is False or spec is None:
+        return None
+    return spec
+
+
 class VariantCache:
     """A bounded LRU mapping (fingerprint, mode) -> variant result."""
 

@@ -61,3 +61,18 @@ def get_backend(backend: str | Backend, **kwargs) -> Backend:
 def available_backends() -> list[str]:
     """Sorted names of every registered backend."""
     return sorted(_REGISTRY)
+
+
+def default_backend_pool(statevector_max_qubits: int = 20) -> list[Backend]:
+    """One instance of each built-in backend — the default routing pool.
+
+    The single source of truth for what ``SuperSim`` and
+    ``FragmentEvaluator`` route over when no explicit router is given.
+    """
+    return [
+        get_backend("stabilizer"),
+        get_backend("chform"),
+        get_backend("statevector", max_qubits=statevector_max_qubits),
+        get_backend("mps"),
+        get_backend("extended_stabilizer"),
+    ]

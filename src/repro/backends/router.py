@@ -14,9 +14,10 @@ while automatically picking up MPS for wide low-entanglement fragments and
 the extended stabilizer for wide diagonal-non-Clifford fragments, the §XI
 extension points.
 
-Explicit overrides are preserved: a forced backend (``SuperSim(backend=
-"mps")`` or the legacy ``nonclifford_backend=``) short-circuits scoring for
-every circuit it can handle.
+Explicit overrides are preserved: a forced backend
+(``ExecutionConfig(backend="mps")`` or the legacy ``nonclifford_backend=``)
+short-circuits scoring for every circuit it can handle, and a plan-level
+``ExecutionPlan.with_backend(i, name)`` pins a single fragment.
 """
 
 from __future__ import annotations
@@ -71,12 +72,64 @@ class BackendRouter:
                 raise ValueError(
                     f"cost scale for {name!r} must be positive, got {scale}"
                 )
+        import weakref
 
-    def scored_cost(self, backend: Backend, features: CircuitFeatures) -> float:
-        """A backend's model cost with this router's calibration applied."""
-        return backend.estimate_cost(features) * self.cost_scales.get(
-            backend.name, 1.0
-        )
+        # backends whose estimate_cost predates the mode argument, learned
+        # once per instance so routing does not re-inspect signatures
+        self._legacy_cost_model: "weakref.WeakSet" = weakref.WeakSet()
+
+    def scored_cost(
+        self,
+        backend: Backend,
+        features: CircuitFeatures,
+        mode: str = "exact",
+    ) -> float:
+        """A backend's model cost with this router's calibration applied.
+
+        ``mode`` ("exact" or "sampled") reaches the backend's per-mode
+        cost model; backends written against the old single-argument
+        ``estimate_cost(features)`` signature are still accepted.
+        """
+        try:
+            known_legacy = backend in self._legacy_cost_model
+        except TypeError:
+            known_legacy = False  # unhashable backend: re-detect below
+        if known_legacy:
+            cost = backend.estimate_cost(features)
+        else:
+            try:
+                # keyword call: a second positional parameter that is not
+                # a mode (e.g. estimate_cost(features, scale=1.0)) fails
+                # loudly here instead of silently binding the mode string
+                cost = backend.estimate_cost(features, mode=mode)
+            except TypeError:
+                # distinguish a legacy one-argument signature from a
+                # genuine TypeError raised *inside* a two-argument
+                # implementation; remember the verdict per instance
+                import inspect
+
+                try:
+                    parameters = inspect.signature(
+                        backend.estimate_cost
+                    ).parameters
+                except (TypeError, ValueError):
+                    raise
+                # the call above passes mode by keyword, so only a
+                # signature that can actually bind `mode` (named param or
+                # **kwargs) makes the TypeError a genuine internal error;
+                # anything else — one-arg legacy, or extra non-mode
+                # defaulted params — falls back to the one-argument call
+                accepts_mode = "mode" in parameters or any(
+                    p.kind is p.VAR_KEYWORD for p in parameters.values()
+                )
+                if accepts_mode:
+                    raise
+                try:
+                    self._legacy_cost_model.add(backend)
+                except TypeError:
+                    pass  # unhashable/unweakrefable: just re-detect later
+                cost = backend.estimate_cost(features)
+        return cost * self.cost_scales.get(backend.name, 1.0)
 
     def select(
         self,
@@ -104,4 +157,5 @@ class BackendRouter:
                 f"(features={features}, exact={exact}, noisy={noisy}); "
                 f"pool={[b.name for b in self.backends]}"
             )
-        return min(candidates, key=lambda b: self.scored_cost(b, features))
+        mode = "exact" if exact else "sampled"
+        return min(candidates, key=lambda b: self.scored_cost(b, features, mode))

@@ -16,20 +16,37 @@ Pipeline (paper §V):
    ``4^k`` Pauli assignments of the ``k`` cuts to build the output
    distribution of the original circuit.
 
-The user-facing entry point is :class:`repro.core.supersim.SuperSim`.
+The user-facing entry point is :class:`repro.core.supersim.SuperSim`,
+whose staged API mirrors the pipeline: ``plan()`` performs steps 1 and the
+routing half of 2 without simulating anything, returning a frozen
+:class:`~repro.core.plan.ExecutionPlan` that can be inspected, priced
+(``estimate()``), overridden (``with_cuts`` / ``with_backend``) and then
+``execute()``-d; ``run()`` is the one-shot composition, and ``sweep()`` /
+``run_many()`` batch many points over a shared cache and worker pool.
+Configuration travels in the typed objects of :mod:`repro.core.config`.
 """
 
-from repro.core.cutter import Cut, CutStrategy, cut_circuit, find_cuts
+from repro.core.config import CutConfig, ExecutionConfig, SamplingConfig
+from repro.core.cutter import Cut, CutStrategy, cut_circuit, find_cuts, plan_cuts
 from repro.core.fragments import CutCircuit, Fragment
+from repro.core.plan import CostEstimate, ExecutionPlan, FragmentPlan, SweepResult
 from repro.core.supersim import SuperSim, SuperSimResult
 
 __all__ = [
     "Cut",
     "CutStrategy",
+    "CutConfig",
+    "SamplingConfig",
+    "ExecutionConfig",
     "find_cuts",
+    "plan_cuts",
     "cut_circuit",
     "Fragment",
     "CutCircuit",
     "SuperSim",
     "SuperSimResult",
+    "ExecutionPlan",
+    "CostEstimate",
+    "FragmentPlan",
+    "SweepResult",
 ]

@@ -1,0 +1,232 @@
+"""Typed configuration objects for the plan→execute pipeline.
+
+The original ``SuperSim`` constructor grew ~10 loose keyword arguments
+spanning three unrelated concerns.  These frozen dataclasses name the
+concerns explicitly and travel together through the pipeline:
+
+* :class:`CutConfig` — how the circuit is split (cut placement strategy,
+  the ``4^k`` reconstruction guard);
+* :class:`SamplingConfig` — how fragment variants are evaluated
+  statistically (exact vs shots, Clifford shot rebalancing, tomography
+  projection, noise, seeding);
+* :class:`ExecutionConfig` — where and how the work runs (forced backend,
+  router, variant cache, worker pool, reconstruction pruning).
+
+All three are immutable; derive variations with :func:`dataclasses.replace`
+(re-exported as each config's ``replace`` method)::
+
+    from dataclasses import replace
+
+    base = SamplingConfig(shots=4000, seed=7)
+    snapped = replace(base, snap_clifford=True)
+
+``SuperSim`` accepts them directly — ``SuperSim(sampling=base)`` — and the
+old flat kwargs remain available as a deprecation shim that maps onto
+these objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.cutter import CutStrategy
+
+
+class _Replaceable:
+    """Mixin: ``config.replace(field=value)`` -> new frozen instance."""
+
+    def replace(self, **changes):
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class CutConfig(_Replaceable):
+    """How a circuit is split into fragments (paper §V-A).
+
+    Parameters
+    ----------
+    strategy:
+        Cut placement strategy (:class:`~repro.core.cutter.CutStrategy`).
+    max_cuts:
+        Refuse circuits needing more cuts — ``4^k`` reconstruction terms
+        grow out of reach quickly.
+    """
+
+    strategy: CutStrategy = CutStrategy.ISOLATE
+    max_cuts: int = 12
+
+    def __post_init__(self):
+        if isinstance(self.strategy, str):  # accept "isolate" / "greedy_merge"
+            object.__setattr__(self, "strategy", CutStrategy(self.strategy))
+        if self.max_cuts < 0:
+            raise ValueError("max_cuts must be non-negative")
+
+
+@dataclass(frozen=True)
+class SamplingConfig(_Replaceable):
+    """How fragment variants are evaluated statistically (§V-B, §IX).
+
+    Parameters
+    ----------
+    shots:
+        ``None`` for exact fragment evaluation; an integer to sample each
+        variant with that many shots.
+    clifford_shots:
+        Override the per-variant shot count for Clifford fragments
+        (Section IX: few shots suffice when expectations are in {-1,0,+1}).
+    snap_clifford:
+        Snap sampled Clifford conditional expectations to {-1, 0, +1}.
+    tomography:
+        Apply the physicality (PSD) projection to sampled fragment models.
+    noise:
+        A :class:`repro.stabilizer.NoiseModel` applied to Clifford
+        fragments via Pauli-frame sampling (requires finite ``shots``).
+    seed:
+        Root seed (int or :class:`numpy.random.Generator`) for sampled
+        evaluation; per-variant seeds derive from it and the variant
+        fingerprint, so seeded runs are bit-for-bit reproducible.
+    """
+
+    shots: int | None = None
+    clifford_shots: int | None = None
+    snap_clifford: bool = False
+    tomography: bool = False
+    noise: Any = None
+    seed: Any = None
+
+    def __post_init__(self):
+        if self.shots is not None and self.shots < 1:
+            raise ValueError("shots must be positive or None")
+        if self.clifford_shots is not None and self.clifford_shots < 1:
+            raise ValueError("clifford_shots must be positive or None")
+        if self.noise is not None and self.shots is None:
+            raise ValueError("noisy fragment evaluation requires finite shots")
+
+    @property
+    def exact(self) -> bool:
+        return self.shots is None
+
+
+@dataclass(frozen=True)
+class ExecutionConfig(_Replaceable):
+    """Where and how fragment jobs execute.
+
+    Parameters
+    ----------
+    backend:
+        Force a backend for every fragment it can handle — a registered
+        name or a :class:`~repro.backends.base.Backend` instance.
+    router:
+        A custom :class:`~repro.backends.router.BackendRouter`; the
+        default scores every built-in backend's cost model.
+    nonclifford_backend:
+        Legacy §XI extension point: force a backend for non-Clifford
+        fragments only (duck-typed simulators are adapted automatically).
+    cache:
+        Variant caching across runs: ``True`` (default) builds a private
+        :class:`~repro.backends.cache.VariantCache`, or pass a shared
+        instance, or ``False``/``None`` to disable.
+    pool:
+        Worker pool kind: ``"thread"``, ``"process"``, or ``None`` to
+        follow the backends' capability hints.
+    parallel:
+        Worker count for parallel variant evaluation.
+    statevector_max_qubits:
+        Width cap for the default statevector backend in the router pool.
+    prune_zeros:
+        Skip recombination terms with an exactly-zero fragment factor
+        (Section IX downstream-term pruning).
+    """
+
+    backend: Any = None
+    router: Any = None
+    nonclifford_backend: Any = None
+    cache: Any = True
+    pool: str | None = None
+    parallel: int = 1
+    statevector_max_qubits: int = 20
+    prune_zeros: bool = True
+
+    def __post_init__(self):
+        if self.pool not in (None, "thread", "process"):
+            raise ValueError(
+                f"pool must be 'thread', 'process' or None, got {self.pool!r}"
+            )
+        if self.parallel < 1:
+            raise ValueError("parallel must be at least 1")
+
+
+#: legacy SuperSim kwarg -> (config attribute name, target config)
+LEGACY_KWARG_MAP: dict[str, tuple[str, str]] = {
+    "strategy": ("cut", "strategy"),
+    "max_cuts": ("cut", "max_cuts"),
+    "shots": ("sampling", "shots"),
+    "clifford_shots": ("sampling", "clifford_shots"),
+    "snap_clifford": ("sampling", "snap_clifford"),
+    "tomography": ("sampling", "tomography"),
+    "noise": ("sampling", "noise"),
+    "rng": ("sampling", "seed"),
+    "backend": ("execution", "backend"),
+    "router": ("execution", "router"),
+    "nonclifford_backend": ("execution", "nonclifford_backend"),
+    "cache": ("execution", "cache"),
+    "pool": ("execution", "pool"),
+    "parallel": ("execution", "parallel"),
+    "statevector_max_qubits": ("execution", "statevector_max_qubits"),
+    "prune_zeros": ("execution", "prune_zeros"),
+}
+
+
+def configs_from_legacy_kwargs(
+    kwargs: dict[str, Any],
+    cut: CutConfig | None = None,
+    sampling: SamplingConfig | None = None,
+    execution: ExecutionConfig | None = None,
+) -> tuple[CutConfig, SamplingConfig, ExecutionConfig, list[str]]:
+    """Map flat legacy kwargs onto the three config objects.
+
+    Returns the merged configs plus the list of legacy kwarg names that
+    were actually used (for the caller's single deprecation warning).
+    Unknown kwargs raise ``TypeError`` like any normal signature mismatch.
+    Legacy kwargs may not override a config object supplied alongside them
+    — mixing the two styles for one concern is ambiguous and raises.
+    """
+    for value, expected, hint in (
+        (cut, CutConfig, "CutConfig"),
+        (sampling, SamplingConfig, "SamplingConfig"),
+        (execution, ExecutionConfig, "ExecutionConfig"),
+    ):
+        if value is not None and not isinstance(value, expected):
+            # catches pre-pipeline positional calls like SuperSim(4000),
+            # where the old leading `shots` argument lands on `cut`
+            raise TypeError(
+                f"expected a {hint} instance, got {value!r}; the flat "
+                f"positional signature is gone — pass "
+                f"{hint}(...) or keyword-only legacy kwargs "
+                "(e.g. shots=4000)"
+            )
+    unknown = [k for k in kwargs if k not in LEGACY_KWARG_MAP]
+    if unknown:
+        raise TypeError(
+            f"unexpected keyword argument(s): {', '.join(sorted(unknown))}"
+        )
+    used = sorted(kwargs)
+    updates: dict[str, dict[str, Any]] = {"cut": {}, "sampling": {}, "execution": {}}
+    for key, value in kwargs.items():
+        target, attr = LEGACY_KWARG_MAP[key]
+        updates[target][attr] = value
+    provided = {"cut": cut, "sampling": sampling, "execution": execution}
+    for target, fields in updates.items():
+        if fields and provided[target] is not None:
+            raise TypeError(
+                f"cannot mix the {target}= config object with legacy "
+                f"kwarg(s) {sorted(fields)}; set them on the config instead"
+            )
+    cut = cut if cut is not None else CutConfig(**updates["cut"])
+    sampling = sampling if sampling is not None else SamplingConfig(**updates["sampling"])
+    execution = (
+        execution if execution is not None else ExecutionConfig(**updates["execution"])
+    )
+    return cut, sampling, execution, used

@@ -58,7 +58,14 @@ def _ops_per_qubit(circuit: Circuit) -> dict[int, int]:
 def find_cuts(
     circuit: Circuit, strategy: CutStrategy = CutStrategy.ISOLATE
 ) -> list[Cut]:
-    """Cut locations isolating the non-Clifford operations of ``circuit``."""
+    """Cut locations isolating the non-Clifford operations of ``circuit``.
+
+    ``strategy`` may be a :class:`CutStrategy`, its string value, or a
+    :class:`~repro.core.config.CutConfig` (whose strategy is used).
+    """
+    strategy = getattr(strategy, "strategy", strategy)
+    if isinstance(strategy, str):
+        strategy = CutStrategy(strategy)
     positions = _wire_positions(circuit)
     totals = _ops_per_qubit(circuit)
     non_clifford = [not op.gate.is_clifford for op in circuit.ops]
@@ -117,6 +124,27 @@ def _greedy_merge(circuit: Circuit, cuts: list[Cut]) -> list[Cut]:
                 improved = True
                 break
     return current
+
+
+def plan_cuts(
+    circuit: Circuit, config, cuts: list[Cut] | None = None
+) -> CutCircuit:
+    """Find (or validate) cuts under a :class:`~repro.core.config.CutConfig`
+    and split the circuit.
+
+    This is the cut stage of the plan→execute pipeline: explicit ``cuts``
+    bypass the search but still face the ``max_cuts`` reconstruction
+    guard.
+    """
+    if cuts is None:
+        cuts = find_cuts(circuit, config.strategy)
+    if len(cuts) > config.max_cuts:
+        raise ValueError(
+            f"{len(cuts)} cuts would need 4^{len(cuts)} reconstruction "
+            f"terms (max_cuts={config.max_cuts}); SuperSim targets "
+            "near-Clifford circuits with few non-Clifford gates"
+        )
+    return cut_circuit(circuit, cuts)
 
 
 def cut_circuit(circuit: Circuit, cuts: list[Cut]) -> CutCircuit:

@@ -195,6 +195,9 @@ class FragmentEvaluator:
         router: BackendRouter | None = None,
         cache: VariantCache | None = None,
         pool: str | None = None,
+        assignments: dict[int, Backend] | None = None,
+        executor=None,
+        executor_kind: str | None = None,
     ):
         from repro.backends import as_backend, get_backend
 
@@ -210,23 +213,61 @@ class FragmentEvaluator:
             )
         self.pool = pool
         if router is None:
-            router = BackendRouter(
-                [
-                    get_backend("stabilizer"),
-                    get_backend("chform"),
-                    get_backend("statevector", max_qubits=statevector_max_qubits),
-                    get_backend("mps"),
-                    get_backend("extended_stabilizer"),
-                ]
-            )
+            from repro.backends import default_backend_pool
+
+            router = BackendRouter(default_backend_pool(statevector_max_qubits))
         self.router = router
         self.forced = get_backend(backend) if backend is not None else None
         self.nonclifford_backend = (
             as_backend(nonclifford_backend) if nonclifford_backend is not None else None
         )
+        self.assignments = dict(assignments) if assignments else {}
+        self.executor = executor
+        self.executor_kind = executor_kind
         self.last_stats: dict = {}
         if noise is not None and shots is None:
             raise ValueError("noisy fragment evaluation requires finite shots")
+
+    @classmethod
+    def from_configs(
+        cls,
+        sampling=None,
+        execution=None,
+        cache: VariantCache | None = None,
+        assignments: dict[int, Backend] | None = None,
+        executor=None,
+        executor_kind: str | None = None,
+    ) -> "FragmentEvaluator":
+        """Build an evaluator from typed config objects.
+
+        ``cache`` overrides ``execution.cache`` with a resolved instance
+        (``SuperSim`` passes its own long-lived cache here); when omitted,
+        ``execution.cache=True`` builds a private one.
+        """
+        from repro.core.config import ExecutionConfig, SamplingConfig
+
+        from repro.backends.cache import resolve_cache
+
+        sampling = sampling if sampling is not None else SamplingConfig()
+        execution = execution if execution is not None else ExecutionConfig()
+        if cache is None:
+            cache = resolve_cache(execution.cache)
+        return cls(
+            shots=sampling.shots,
+            clifford_shots=sampling.clifford_shots,
+            rng=sampling.seed,
+            statevector_max_qubits=execution.statevector_max_qubits,
+            nonclifford_backend=execution.nonclifford_backend,
+            noise=sampling.noise,
+            parallel=execution.parallel,
+            backend=execution.backend,
+            router=execution.router,
+            cache=cache,
+            pool=execution.pool,
+            assignments=assignments,
+            executor=executor,
+            executor_kind=executor_kind,
+        )
 
     # -- routing --------------------------------------------------------------
 
@@ -240,6 +281,11 @@ class FragmentEvaluator:
         features = CircuitFeatures.from_circuit(fragment.circuit)
         exact = self.shots is None
         noisy = self.noise is not None and fragment.is_clifford
+        assigned = self.assignments.get(fragment.index)
+        if assigned is not None:
+            # a plan-level assignment (validated at planning time) wins
+            # over forcing and routing; the noise mode still applies
+            return assigned, noisy
         if noisy:
             # Pauli-frame sampling needs a noise-capable backend
             if self.forced is not None and self.forced.can_handle(
@@ -316,8 +362,20 @@ class FragmentEvaluator:
                 if any(j.backend.capabilities.pool == "process" for j in jobs)
                 else "thread"
             )
-        self.last_stats["pool"] = pool
-        if self.parallel > 1 and len(jobs) > 1:
+        shared = (
+            self.executor is not None
+            and len(jobs) > 1
+            and (self.executor_kind is None or self.executor_kind == pool)
+        )
+        self.last_stats["pool"] = (
+            self.executor_kind or pool if shared else pool
+        )
+        if shared:
+            # a long-lived executor shared across runs (sweep batches);
+            # only taken when its kind matches the jobs' resolved pool, so
+            # process-preferring backends never silently land on threads
+            values = list(self.executor.map(_execute_job, jobs))
+        elif self.parallel > 1 and len(jobs) > 1:
             if pool == "process":
                 from concurrent.futures import ProcessPoolExecutor as Executor
             else:
@@ -328,6 +386,30 @@ class FragmentEvaluator:
         else:
             values = [_execute_job(job) for job in jobs]
         return {job.key: value for job, value in zip(jobs, values)}
+
+    def dry_run(self, fragments: list[Fragment]) -> dict:
+        """Plan the job batch without simulating anything.
+
+        Returns the same shape of stats ``evaluate_all`` would record —
+        total and unique job counts, per-backend variant usage, and (in
+        exact mode, where cache keys are seed-free) how many unique jobs
+        the cache would satisfy.  Sampled-mode keys include the root seed,
+        which is only drawn at execution time, so cache hits are reported
+        as ``None`` there.
+        """
+        assignments, unique = self._build_jobs(list(fragments), root_seed=0)
+        usage: dict[str, int] = {}
+        for job in unique.values():
+            usage[job.backend.name] = usage.get(job.backend.name, 0) + 1
+        cached: int | None = None
+        if self.shots is None and self.cache is not None:
+            cached = sum(1 for key in unique if key in self.cache)
+        return {
+            "jobs": len(assignments),
+            "unique_jobs": len(unique),
+            "cached_jobs": cached,
+            "backends": usage,
+        }
 
     def evaluate_all(self, fragments: list[Fragment]) -> list[FragmentData]:
         """Evaluate every variant of every fragment through one batched pool.

@@ -1,50 +1,83 @@
-"""The SuperSim facade: cut, evaluate, reconstruct (paper §V).
+"""The SuperSim facade: a staged plan→execute pipeline (paper §V).
 
-Typical use::
+The paper's workflow is inherently staged — cut placement, fragment
+variant evaluation, tomography, reconstruction — and the API mirrors it.
+``plan()`` makes every decision without simulating anything; the returned
+:class:`~repro.core.plan.ExecutionPlan` can be inspected, cost-estimated,
+overridden, and finally executed::
 
     from repro.core import SuperSim
-    result = SuperSim().run(circuit)
-    result.distribution          # reconstructed output distribution
-    result.timings               # per-stage wall-clock breakdown
 
-``shots=None`` (default) evaluates fragments exactly — by default Clifford
-fragments land on the stabilizer simulator's affine outcome distributions
-and non-Clifford fragments on statevector simulation, but the dispatch is
-capability-based routing over the :mod:`repro.backends` registry, so
-``SuperSim(backend="mps")`` or any custom registered backend slots in
-without further changes.  With integer ``shots`` the fragments are
-*sampled*, as on real hardware, and the optional tomography projection and
-Clifford snapping clean up the statistics.  Variant results are memoised
-in a content-addressed cache that persists across ``run()`` calls, so
-parameter sweeps re-simulate only the fragments that actually changed.
+    sim = SuperSim()
+    plan = sim.plan(circuit)          # cut + route, no simulation
+    plan.estimate()                   # predicted cost, dry run
+    plan = plan.with_backend(1, "mps")  # pin fragment 1 to MPS
+    result = plan.execute()           # evaluate -> tomography -> reconstruct
+    result.distribution               # reconstructed output distribution
+    result.timings                    # per-stage wall-clock breakdown
+
+``run(circuit)`` is simply ``plan(circuit).execute()`` — the one-shot path
+stays one line.  Configuration travels in three typed objects instead of
+loose kwargs (:class:`~repro.core.config.CutConfig`,
+:class:`~repro.core.config.SamplingConfig`,
+:class:`~repro.core.config.ExecutionConfig`)::
+
+    sim = SuperSim(
+        sampling=SamplingConfig(shots=4000, seed=7),
+        execution=ExecutionConfig(backend="mps", parallel=4),
+    )
+
+The old flat kwargs (``SuperSim(shots=4000, backend="mps")``) still work
+as a deprecation shim that maps onto the configs and warns once.
+
+Parameter sweeps — the dominant VQE/QAOA workload (§VII) — batch through
+:meth:`SuperSim.sweep` / :meth:`SuperSim.run_many`: planning artifacts
+(cut locations), the content-addressed variant cache and the worker pool
+are shared across all points, and results stream back as each point
+completes, so only the fragments that actually changed between points are
+re-simulated.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.analysis.distributions import Distribution
-from repro.backends.cache import VariantCache
+from repro.backends.base import CircuitFeatures
+from repro.backends.cache import VariantCache, resolve_cache
 from repro.circuits.circuit import Circuit
-from repro.core.cutter import CutStrategy, cut_circuit, find_cuts
+from repro.core.config import (
+    CutConfig,
+    ExecutionConfig,
+    SamplingConfig,
+    configs_from_legacy_kwargs,
+)
+from repro.core.cutter import plan_cuts
 from repro.core.evaluator import FragmentEvaluator
 from repro.core.fragments import Cut, CutCircuit
+from repro.core.plan import CostEstimate, ExecutionPlan, FragmentPlan, SweepResult
 from repro.core.reconstruction import ReconstructionStats, reconstruct_distribution
 from repro.core.tomography import build_fragment_tensor
+
+#: the four pipeline stages always present in SuperSimResult.timings
+STAGES = ("cut", "evaluate", "tomography", "reconstruct")
 
 
 @dataclass
 class SuperSimResult:
     """Reconstructed output plus diagnostics.
 
-    ``timings`` carries per-stage wall clock plus the variant-cache
-    counters of this run (``cache_hits`` / ``cache_misses``);
-    ``backend_usage`` counts the variants actually *simulated* per backend
-    name this run (cache hits and within-run duplicates excluded, so a
-    fully cached run reports an empty mapping).
+    ``timings`` always carries all four stage keys (``cut``, ``evaluate``,
+    ``tomography``, ``reconstruct`` — 0.0 for stages that did no work,
+    e.g. tomography on a fully-cached run) plus the variant-cache counters
+    of this run (``cache_hits`` / ``cache_misses``); ``backend_usage``
+    counts the variants actually *simulated* per backend name this run
+    (cache hits and within-run duplicates excluded, so a fully cached run
+    reports an empty mapping).
     """
 
     distribution: Distribution
@@ -53,6 +86,10 @@ class SuperSimResult:
     timings: dict[str, float] = field(default_factory=dict)
     raw_distribution: Distribution | None = None
     backend_usage: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for stage in STAGES:
+            self.timings.setdefault(stage, 0.0)
 
     @property
     def cache_hits(self) -> int:
@@ -75,138 +112,252 @@ class SuperSimResult:
         return sum(f.num_variants for f in self.cut_circuit.fragments)
 
 
+def _call_factory(factory, params):
+    """Apply one sweep grid point to a circuit factory."""
+    if isinstance(params, dict):
+        return factory(**params)
+    if isinstance(params, tuple):
+        return factory(*params)
+    return factory(params)
+
+
 class SuperSim:
     """Clifford-based circuit cutting simulator.
 
     Parameters
     ----------
-    shots:
-        ``None`` for exact fragment evaluation; an integer to sample each
-        fragment variant with that many shots.
-    clifford_shots:
-        Override the per-variant shot count for Clifford fragments
-        (Section IX: few shots suffice when expectations are in {-1,0,+1}).
-    snap_clifford:
-        Snap sampled Clifford conditional expectations to {-1, 0, +1}.
-    tomography:
-        Apply the physicality (PSD) projection to sampled fragment models —
-        the maximum-likelihood correction of the paper's reference [40].
-    strategy:
-        Cut placement strategy.
-    max_cuts:
-        Refuse circuits needing more cuts (4^k reconstruction guard).
-    prune_zeros:
-        Skip recombination terms with an exactly-zero fragment factor
-        (Section IX downstream-term pruning).
-    backend:
-        Force a backend for every fragment it can handle — a registered
-        name (``"mps"``, ``"statevector"``, ...) or a
-        :class:`~repro.backends.base.Backend` instance.  Fragments outside
-        the forced backend's capabilities fall back to routing.
-    router:
-        A custom :class:`~repro.backends.router.BackendRouter`; the default
-        scores every built-in backend's cost model.
-    cache:
-        Variant caching across ``run()`` calls: ``True`` (default) builds a
-        private :class:`~repro.backends.cache.VariantCache`, or pass a
-        shared instance, or ``False``/``None`` to disable.  Cache hit/miss
-        counts appear in :attr:`SuperSimResult.timings`.
-    pool:
-        Worker pool kind for parallel evaluation: ``"thread"``,
-        ``"process"``, or ``None`` to follow the backends' capability
-        hints.
+    cut:
+        A :class:`~repro.core.config.CutConfig` — cut placement strategy
+        and the ``4^k`` reconstruction guard.
+    sampling:
+        A :class:`~repro.core.config.SamplingConfig` — exact vs sampled
+        evaluation, Clifford shot rebalancing, tomography projection,
+        noise, seeding.
+    execution:
+        An :class:`~repro.core.config.ExecutionConfig` — forced backend,
+        router, variant cache, worker pool, reconstruction pruning.
+    **legacy_kwargs:
+        The pre-pipeline flat kwargs (``shots=``, ``backend=``, ``rng=``,
+        ...) are still accepted and mapped onto the configs; using any of
+        them emits a single :class:`DeprecationWarning` naming the new
+        home of each.
     """
+
+    name = "supersim"
 
     def __init__(
         self,
-        shots: int | None = None,
-        clifford_shots: int | None = None,
-        snap_clifford: bool = False,
-        tomography: bool = False,
-        strategy: CutStrategy = CutStrategy.ISOLATE,
-        max_cuts: int = 12,
-        prune_zeros: bool = True,
-        rng: np.random.Generator | int | None = None,
-        statevector_max_qubits: int = 20,
-        nonclifford_backend=None,
-        noise=None,
-        parallel: int = 1,
-        backend=None,
-        router=None,
-        cache: VariantCache | bool | None = True,
-        pool: str | None = None,
+        cut: CutConfig | None = None,
+        sampling: SamplingConfig | None = None,
+        execution: ExecutionConfig | None = None,
+        **legacy_kwargs,
     ):
-        self.shots = shots
-        self.clifford_shots = clifford_shots
-        self.snap_clifford = snap_clifford
-        self.tomography = tomography
-        self.strategy = strategy
-        self.max_cuts = max_cuts
-        self.prune_zeros = prune_zeros
-        self.rng = rng
-        self.statevector_max_qubits = statevector_max_qubits
-        self.nonclifford_backend = nonclifford_backend
-        self.noise = noise
-        self.parallel = parallel
-        self.backend = backend
-        self.router = router
-        self.pool = pool
-        if cache is True:
-            cache = VariantCache()
-        elif cache is False:
-            cache = None
-        self.variant_cache: VariantCache | None = cache
+        cut, sampling, execution, legacy_used = configs_from_legacy_kwargs(
+            legacy_kwargs, cut=cut, sampling=sampling, execution=execution
+        )
+        if legacy_used:
+            warnings.warn(
+                f"SuperSim({', '.join(f'{k}=' for k in legacy_used)}) uses "
+                "legacy flat kwargs; pass CutConfig/SamplingConfig/"
+                "ExecutionConfig objects instead (see repro.core.config)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        self.cut_config = cut
+        self.sampling = sampling
+        self.execution = execution
+        self.variant_cache: VariantCache | None = resolve_cache(execution.cache)
+        #: executor shared across batch points while a sweep is active
+        self._batch_executor = None
+        self._batch_executor_kind: str | None = None
+        self._default_router = None
 
-    name = "supersim"
+    # -- legacy attribute surface (read-only views onto the configs) ---------
+
+    @property
+    def shots(self):
+        return self.sampling.shots
+
+    @property
+    def clifford_shots(self):
+        return self.sampling.clifford_shots
+
+    @property
+    def snap_clifford(self):
+        return self.sampling.snap_clifford
+
+    @property
+    def tomography(self):
+        return self.sampling.tomography
+
+    @property
+    def noise(self):
+        return self.sampling.noise
+
+    @property
+    def rng(self):
+        return self.sampling.seed
+
+    @property
+    def strategy(self):
+        return self.cut_config.strategy
+
+    @property
+    def max_cuts(self):
+        return self.cut_config.max_cuts
+
+    @property
+    def prune_zeros(self):
+        return self.execution.prune_zeros
+
+    @property
+    def backend(self):
+        return self.execution.backend
+
+    @property
+    def router(self):
+        return self.execution.router
+
+    @property
+    def nonclifford_backend(self):
+        return self.execution.nonclifford_backend
+
+    @property
+    def pool(self):
+        return self.execution.pool
+
+    @property
+    def parallel(self):
+        return self.execution.parallel
+
+    @property
+    def statevector_max_qubits(self):
+        return self.execution.statevector_max_qubits
 
     # -- pipeline pieces ------------------------------------------------------
 
     def cut(self, circuit: Circuit, cuts: list[Cut] | None = None) -> CutCircuit:
-        if cuts is None:
-            cuts = find_cuts(circuit, self.strategy)
-        if len(cuts) > self.max_cuts:
-            raise ValueError(
-                f"{len(cuts)} cuts would need 4^{len(cuts)} reconstruction "
-                f"terms (max_cuts={self.max_cuts}); SuperSim targets "
-                "near-Clifford circuits with few non-Clifford gates"
-            )
-        return cut_circuit(circuit, cuts)
+        """The cut stage alone: find (or validate) cuts and split."""
+        return plan_cuts(circuit, self.cut_config, cuts)
 
-    def _evaluator(self) -> FragmentEvaluator:
-        return FragmentEvaluator(
-            shots=self.shots,
-            clifford_shots=self.clifford_shots,
-            rng=self.rng,
-            statevector_max_qubits=self.statevector_max_qubits,
-            nonclifford_backend=self.nonclifford_backend,
-            noise=self.noise,
-            parallel=self.parallel,
-            backend=self.backend,
-            router=self.router,
+    def _router(self):
+        """The router every evaluator of this sim shares.
+
+        Built once: a custom ``execution.router`` is used as-is, otherwise
+        the default backend pool is instantiated a single time instead of
+        once per plan/estimate/execute call.
+        """
+        if self.execution.router is not None:
+            return self.execution.router
+        if self._default_router is None:
+            from repro.backends import BackendRouter, default_backend_pool
+
+            self._default_router = BackendRouter(
+                default_backend_pool(self.execution.statevector_max_qubits)
+            )
+        return self._default_router
+
+    def _evaluator(self, assignments=None) -> FragmentEvaluator:
+        return FragmentEvaluator.from_configs(
+            self.sampling,
+            self.execution.replace(router=self._router()),
             cache=self.variant_cache,
-            pool=self.pool,
+            assignments=assignments,
+            executor=self._batch_executor,
+            executor_kind=self._batch_executor_kind,
         )
 
-    # -- main entry points --------------------------------------------------------
+    # -- plan stage -----------------------------------------------------------
 
-    def run(
+    def plan(
         self,
         circuit: Circuit,
         keep_qubits: list[int] | None = None,
         cuts: list[Cut] | None = None,
-    ) -> SuperSimResult:
-        """Cut, evaluate and reconstruct the distribution over ``keep_qubits``
-        (default: the circuit's measured qubits)."""
+    ) -> ExecutionPlan:
+        """Stage 1: cut the circuit and route fragments — no simulation.
+
+        The returned :class:`~repro.core.plan.ExecutionPlan` records the
+        cut circuit, each fragment's enumerated variant count, the backend
+        the router assigned it, and the evaluation mode; inspect it, price
+        it with ``estimate()``, override it with ``with_cuts(...)`` /
+        ``with_backend(...)``, then ``execute()``.
+        """
         if keep_qubits is None:
             keep_qubits = list(circuit.measured_qubits)
-        timings: dict[str, float] = {}
-
         start = time.perf_counter()
         cc = self.cut(circuit, cuts)
-        timings["cut"] = time.perf_counter() - start
+        evaluator = self._evaluator()
+        backends = []
+        modes = []
+        exact = self.sampling.exact
+        for fragment in cc.fragments:
+            backend, noisy = evaluator._backend_for(fragment)
+            backends.append(backend)
+            modes.append("noisy" if noisy else ("exact" if exact else "sampled"))
+        planning_seconds = time.perf_counter() - start
+        return ExecutionPlan(
+            circuit=circuit,
+            cut_circuit=cc,
+            keep_qubits=tuple(keep_qubits),
+            backend_names=tuple(b.name for b in backends),
+            fragment_modes=tuple(modes),
+            planning_seconds=planning_seconds,
+            _sim=self,
+            _backends=tuple(backends),
+        )
+
+    def _estimate_plan(self, plan: ExecutionPlan) -> CostEstimate:
+        """Dry-run pricing of a plan (see :meth:`ExecutionPlan.estimate`)."""
+        assignments = {
+            f.index: b for f, b in zip(plan.cut_circuit.fragments, plan._backends)
+        }
+        evaluator = self._evaluator(assignments=assignments)
+        router = evaluator.router
+        fragment_plans = []
+        total = 0.0
+        for fragment, backend, mode in zip(
+            plan.cut_circuit.fragments, plan._backends, plan.fragment_modes
+        ):
+            features = CircuitFeatures.from_circuit(fragment.circuit)
+            per_variant = router.scored_cost(
+                backend, features, mode="exact" if mode == "exact" else "sampled"
+            )
+            cost = per_variant * fragment.num_variants
+            total += cost
+            fragment_plans.append(
+                FragmentPlan(
+                    index=fragment.index,
+                    n_qubits=fragment.n_qubits,
+                    num_variants=fragment.num_variants,
+                    backend=backend.name,
+                    mode=mode,
+                    is_clifford=fragment.is_clifford,
+                    cost=cost,
+                )
+            )
+        stats = evaluator.dry_run(plan.cut_circuit.fragments)
+        return CostEstimate(
+            fragments=tuple(fragment_plans),
+            total_cost=total,
+            num_variants=stats["jobs"],
+            unique_variants=stats["unique_jobs"],
+            cached_variants=stats["cached_jobs"],
+            num_cuts=plan.num_cuts,
+            reconstruction_terms=plan.cut_circuit.reconstruction_terms,
+            calibrated=bool(router.cost_scales),
+        )
+
+    # -- execute stage ---------------------------------------------------------
+
+    def _execute_plan(self, plan: ExecutionPlan) -> SuperSimResult:
+        """Stages 2–4: evaluate variants, build tensors, reconstruct."""
+        cc = plan.cut_circuit
+        timings: dict[str, float] = {"cut": plan.planning_seconds}
+        assignments = {f.index: b for f, b in zip(cc.fragments, plan._backends)}
 
         start = time.perf_counter()
-        evaluator = self._evaluator()
+        evaluator = self._evaluator(assignments=assignments)
         fragment_data = evaluator.evaluate_all(cc.fragments)
         timings["evaluate"] = time.perf_counter() - start
         timings["cache_hits"] = float(evaluator.last_stats.get("cache_hits", 0))
@@ -214,7 +365,7 @@ class SuperSim:
         backend_usage = dict(evaluator.last_stats.get("backends", {}))
 
         start = time.perf_counter()
-        keep_set = set(keep_qubits)
+        keep_set = set(plan.keep_qubits)
         kept_locals: list[list[int]] = []
         for fragment in cc.fragments:
             kept_locals.append(
@@ -224,8 +375,8 @@ class SuperSim:
             build_fragment_tensor(
                 data,
                 kept,
-                snap_clifford=self.snap_clifford,
-                project=self.tomography and self.shots is not None,
+                snap_clifford=self.sampling.snap_clifford,
+                project=self.sampling.tomography and self.sampling.shots is not None,
             )
             for data, kept in zip(fragment_data, kept_locals)
         ]
@@ -236,8 +387,8 @@ class SuperSim:
             cc,
             tensors,
             kept_locals,
-            keep_qubits,
-            prune_zeros=self.prune_zeros,
+            list(plan.keep_qubits),
+            prune_zeros=self.execution.prune_zeros,
         )
         timings["reconstruct"] = time.perf_counter() - start
 
@@ -250,6 +401,134 @@ class SuperSim:
             raw_distribution=raw,
             backend_usage=backend_usage,
         )
+
+    # -- main entry points --------------------------------------------------------
+
+    def run(
+        self,
+        circuit: Circuit,
+        keep_qubits: list[int] | None = None,
+        cuts: list[Cut] | None = None,
+    ) -> SuperSimResult:
+        """``plan(circuit).execute()`` — cut, evaluate and reconstruct the
+        distribution over ``keep_qubits`` (default: the measured qubits)."""
+        return self.plan(circuit, keep_qubits=keep_qubits, cuts=cuts).execute()
+
+    # -- batch layer ----------------------------------------------------------
+
+    def sweep(
+        self,
+        circuit_factory,
+        param_grid,
+        keep_qubits: list[int] | None = None,
+        reuse_cuts: bool = True,
+    ):
+        """Stream results of ``circuit_factory`` over a parameter grid.
+
+        The paper's dominant workload (§VII): VQE/QAOA sweeps re-run one
+        circuit shape under many parameter points.  Each grid point is
+        planned and executed with everything shareable shared — the
+        variant cache (identical fragments, in particular the wide
+        Clifford bulk, are simulated once across the whole sweep), the
+        worker pool (one executor spans all points instead of one per
+        run), and with ``reuse_cuts=True`` (default) the cut locations
+        found for the first point (falling back to a fresh search if they
+        do not transfer).
+
+        ``circuit_factory`` is called once per grid point — with ``**p``
+        for dict points, ``*p`` for tuple points, else ``factory(p)`` —
+        and must return a :class:`~repro.circuits.circuit.Circuit`.
+        Yields :class:`~repro.core.plan.SweepResult` records as each point
+        completes.  Exact-mode sweep distributions are bit-identical to
+        independent ``run()`` calls unconditionally.  Seeded sampled-mode
+        sweeps reproduce independent seeded runs bit-for-bit *when the
+        reused plan matches what an independent run would plan* — the
+        normal case, since per-variant seeds derive from the root seed and
+        variant fingerprints, never from batch order; the exception is a
+        grid whose points change which gates are Clifford (e.g. a
+        parameterised gate hitting — or leaving — an exactly-Clifford
+        angle), where the adopted cut set keeps the plan and the sampled
+        estimator consistent across the sweep but differs from what an
+        independent run would plan at those points.  Pass
+        ``reuse_cuts=False`` to re-plan every point and recover
+        unconditional equivalence.
+        """
+        from repro.backends.router import NoCapableBackendError
+
+        with self._batch_pool():
+            shared_cuts: list[Cut] | None = None
+            for index, params in enumerate(param_grid):
+                circuit = _call_factory(circuit_factory, params)
+                plan = None
+                if reuse_cuts and shared_cuts:
+                    try:
+                        plan = self.plan(
+                            circuit, keep_qubits=keep_qubits, cuts=shared_cuts
+                        )
+                    except (ValueError, NoCapableBackendError):
+                        plan = None  # cuts do not transfer: search afresh
+                if plan is None:
+                    plan = self.plan(circuit, keep_qubits=keep_qubits)
+                    if not shared_cuts and plan.cut_circuit.cuts:
+                        # adopt the first *non-empty* cut set: an
+                        # all-Clifford grid point finds no cuts, and an
+                        # empty set must not pin later points to uncut
+                        # whole-circuit evaluation
+                        shared_cuts = list(plan.cut_circuit.cuts)
+                yield SweepResult(index=index, params=params, result=plan.execute())
+
+    def run_many(
+        self,
+        circuits,
+        keep_qubits: list[int] | None = None,
+    ):
+        """Execute many circuits, sharing the cache and worker pool.
+
+        Yields one :class:`SuperSimResult` per circuit, in order, as each
+        completes.  Unlike :meth:`sweep`, no structural similarity is
+        assumed — each circuit gets its own cut search — but identical
+        fragment variants across circuits still deduplicate through the
+        shared cache.
+        """
+        with self._batch_pool():
+            for circuit in circuits:
+                yield self.plan(circuit, keep_qubits=keep_qubits).execute()
+
+    def _batch_pool(self):
+        """Context: one long-lived executor spanning a whole batch.
+
+        Only engaged when ``execution.parallel > 1``; the executor kind
+        follows ``execution.pool`` (``None`` defaults to threads — the
+        built-in backends all release the GIL in their kernels).  Nested
+        batches reuse the outermost executor.
+        """
+        import contextlib
+
+        if self.execution.parallel <= 1 or self._batch_executor is not None:
+            return contextlib.nullcontext()
+
+        if self.execution.pool == "process":
+            from concurrent.futures import ProcessPoolExecutor as Executor
+
+            kind = "process"
+        else:
+            from concurrent.futures import ThreadPoolExecutor as Executor
+
+            kind = "thread"
+
+        @contextlib.contextmanager
+        def pool():
+            executor = Executor(max_workers=self.execution.parallel)
+            self._batch_executor = executor
+            self._batch_executor_kind = kind
+            try:
+                yield executor
+            finally:
+                self._batch_executor = None
+                self._batch_executor_kind = None
+                executor.shutdown()
+
+        return pool()
 
     def probabilities(self, circuit: Circuit) -> Distribution:
         """Reconstructed distribution over the circuit's measured qubits."""
@@ -282,7 +561,7 @@ class SuperSim:
         ]
         tensors = [
             build_sparse_fragment_tensor(
-                data, kept, snap_clifford=self.snap_clifford
+                data, kept, snap_clifford=self.sampling.snap_clifford
             )
             for data, kept in zip(fragment_data, kept_locals)
         ]
@@ -291,7 +570,7 @@ class SuperSim:
             tensors,
             kept_locals,
             keep_qubits,
-            prune_zeros=self.prune_zeros,
+            prune_zeros=self.execution.prune_zeros,
             max_support=max_support,
         )
         return dist.clipped() if len(dist) else dist
@@ -315,13 +594,15 @@ class SuperSim:
                 )
             tensors = [
                 build_fragment_tensor(
-                    data, kept, snap_clifford=self.snap_clifford,
-                    project=self.tomography and self.shots is not None,
+                    data, kept, snap_clifford=self.sampling.snap_clifford,
+                    project=self.sampling.tomography
+                    and self.sampling.shots is not None,
                 )
                 for data, kept in zip(fragment_data, kept_locals)
             ]
             dist, _ = reconstruct_distribution(
-                cc, tensors, kept_locals, [qubit], prune_zeros=self.prune_zeros
+                cc, tensors, kept_locals, [qubit],
+                prune_zeros=self.execution.prune_zeros,
             )
             marginal = dist.clipped()
             out[row, 0] = marginal[0]
@@ -367,7 +648,9 @@ class SuperSim:
                 if oq in bit_of
             }
             scalar_tensors.append(
-                fragment_tensor_at(data, fixed, snap_clifford=self.snap_clifford)
+                fragment_tensor_at(
+                    data, fixed, snap_clifford=self.sampling.snap_clifford
+                )
             )
             axis_cuts.append(
                 [c for c, _ in fragment.quantum_inputs]

@@ -19,7 +19,7 @@ from repro.backends import (
     unregister_backend,
 )
 from repro.circuits import Circuit, gates, inject_t_gates, random_clifford_circuit
-from repro.core import SuperSim
+from repro.core import ExecutionConfig, SamplingConfig, SuperSim
 from repro.statevector import StatevectorSimulator
 
 SV = StatevectorSimulator()
@@ -182,7 +182,7 @@ class TestSuperSimIntegration:
     def test_backend_by_name_end_to_end(self):
         c = near_clifford(3)
         expected = SV.probabilities(c)
-        result = SuperSim(backend="mps").run(c)
+        result = SuperSim(execution=ExecutionConfig(backend="mps")).run(c)
         assert hellinger_fidelity(expected, result.distribution) > 1 - 1e-9
         assert set(result.backend_usage) == {"mps"}
 
@@ -207,7 +207,7 @@ class TestSuperSimIntegration:
         try:
             c = near_clifford(5)
             expected = SV.probabilities(c)
-            result = SuperSim(backend="tracing-sv").run(c)
+            result = SuperSim(execution=ExecutionConfig(backend="tracing-sv")).run(c)
             assert hellinger_fidelity(expected, result.distribution) > 1 - 1e-9
             assert set(result.backend_usage) == {"tracing-sv"}
             assert TracingBackend.calls > 0
@@ -242,7 +242,7 @@ class TestSuperSimIntegration:
 
     def test_cache_disabled(self):
         c = near_clifford(9)
-        sim = SuperSim(cache=False)
+        sim = SuperSim(execution=ExecutionConfig(cache=False))
         sim.run(c)
         result = sim.run(c)
         assert result.cache_hits == 0
@@ -263,10 +263,12 @@ class TestSuperSimIntegration:
         c = near_clifford(15)
         expected = SV.probabilities(c)
         shared = VariantCache()
-        truncated = SuperSim(
+        truncated = SuperSim(execution=ExecutionConfig(
             backend=get_backend("mps", max_bond=1), cache=shared
+        )).run(c)
+        exact = SuperSim(
+            execution=ExecutionConfig(backend="mps", cache=shared)
         ).run(c)
-        exact = SuperSim(backend="mps", cache=shared).run(c)
         assert exact.cache_hits == 0  # different configuration, no aliasing
         assert hellinger_fidelity(expected, exact.distribution) > 1 - 1e-9
 
@@ -282,7 +284,10 @@ class TestSuperSimIntegration:
 
         def run(p):
             noise = NoiseModel(after_gate_1q=PauliChannel.depolarizing(p))
-            sim = SuperSim(shots=500, rng=7, noise=noise, cache=shared)
+            sim = SuperSim(
+                sampling=SamplingConfig(shots=500, seed=7, noise=noise),
+                execution=ExecutionConfig(cache=shared),
+            )
             return sim.run(circuit).distribution
 
         clean = run(0.0)
@@ -299,7 +304,10 @@ class TestSuperSimIntegration:
 
         def run(p):
             noise = NoiseModel(after_gate_1q=PauliChannel.depolarizing(p))
-            sim = SuperSim(shots=300, rng=7, noise=noise, cache=shared)
+            sim = SuperSim(
+                sampling=SamplingConfig(shots=300, seed=7, noise=noise),
+                execution=ExecutionConfig(cache=shared),
+            )
             return sim.run(circuit)
 
         run(0.05)
@@ -313,7 +321,7 @@ class TestSuperSimIntegration:
 
         c = near_clifford(17)
         expected = SV.probabilities(c)
-        result = SuperSim(clifford_shots=50).run(c)
+        result = SuperSim(sampling=SamplingConfig(clifford_shots=50)).run(c)
         assert hellinger_fidelity(expected, result.distribution) > 1 - 1e-9
         fragment = next(
             f
@@ -328,7 +336,9 @@ class TestSuperSimIntegration:
 
         c = near_clifford(11)
         expected = SV.probabilities(c)
-        result = SuperSim(nonclifford_backend=MPSSimulator()).run(c)
+        result = SuperSim(
+            execution=ExecutionConfig(nonclifford_backend=MPSSimulator())
+        ).run(c)
         assert hellinger_fidelity(expected, result.distribution) > 1 - 1e-9
         assert "mps" in result.backend_usage
         assert "stabilizer" in result.backend_usage
@@ -384,5 +394,5 @@ class TestCostCalibration:
         router = BackendRouter(cost_scales=scales)
         c = near_clifford(9)
         expected = SV.probabilities(c)
-        result = SuperSim(router=router).run(c)
+        result = SuperSim(execution=ExecutionConfig(router=router)).run(c)
         assert hellinger_fidelity(expected, result.distribution) > 1 - 1e-9

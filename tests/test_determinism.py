@@ -9,8 +9,15 @@ import numpy as np
 import pytest
 
 from repro.circuits import inject_t_gates, random_clifford_circuit
-from repro.core import SuperSim
+from repro.core import ExecutionConfig, SamplingConfig, SuperSim
 from repro.stabilizer import NoiseModel, PauliChannel
+
+
+def sim(shots=None, seed=None, noise=None, **execution):
+    return SuperSim(
+        sampling=SamplingConfig(shots=shots, seed=seed, noise=noise),
+        execution=ExecutionConfig(**execution),
+    )
 
 
 def workload(seed=0):
@@ -27,40 +34,40 @@ class TestSampledDeterminism:
     @pytest.mark.parametrize("parallel", [1, 4])
     def test_two_runs_identical(self, parallel):
         circuit = workload()
-        first = SuperSim(shots=400, rng=7, parallel=parallel).run(circuit)
-        second = SuperSim(shots=400, rng=7, parallel=parallel).run(circuit)
+        first = sim(shots=400, seed=7, parallel=parallel).run(circuit)
+        second = sim(shots=400, seed=7, parallel=parallel).run(circuit)
         assert_identical(first.distribution, second.distribution)
 
     def test_parallelism_does_not_change_the_answer(self):
         circuit = workload(1)
-        serial = SuperSim(shots=400, rng=7, parallel=1).run(circuit)
-        threaded = SuperSim(shots=400, rng=7, parallel=4).run(circuit)
+        serial = sim(shots=400, seed=7, parallel=1).run(circuit)
+        threaded = sim(shots=400, seed=7, parallel=4).run(circuit)
         assert_identical(serial.distribution, threaded.distribution)
 
     def test_process_pool_matches_thread_pool(self):
         circuit = workload(1)
-        threads = SuperSim(shots=200, rng=7, parallel=2, pool="thread").run(circuit)
-        processes = SuperSim(shots=200, rng=7, parallel=2, pool="process").run(circuit)
+        threads = sim(shots=200, seed=7, parallel=2, pool="thread").run(circuit)
+        processes = sim(shots=200, seed=7, parallel=2, pool="process").run(circuit)
         assert_identical(threads.distribution, processes.distribution)
 
     def test_cache_does_not_change_the_answer(self):
         circuit = workload(2)
-        cached = SuperSim(shots=400, rng=7).run(circuit)
-        uncached = SuperSim(shots=400, rng=7, cache=False).run(circuit)
+        cached = sim(shots=400, seed=7).run(circuit)
+        uncached = sim(shots=400, seed=7, cache=False).run(circuit)
         assert_identical(cached.distribution, uncached.distribution)
 
     def test_different_seeds_differ(self):
         circuit = workload(3)
-        a = SuperSim(shots=400, rng=7).run(circuit)
-        b = SuperSim(shots=400, rng=8).run(circuit)
+        a = sim(shots=400, seed=7).run(circuit)
+        b = sim(shots=400, seed=8).run(circuit)
         assert a.distribution.probs != b.distribution.probs
 
 
 class TestExactDeterminism:
     def test_exact_mode_is_parallel_invariant(self):
         circuit = workload(4)
-        serial = SuperSim(parallel=1).run(circuit)
-        threaded = SuperSim(parallel=4).run(circuit)
+        serial = sim(parallel=1).run(circuit)
+        threaded = sim(parallel=4).run(circuit)
         for outcome, p in serial.distribution:
             assert np.isclose(p, threaded.distribution[outcome], atol=1e-12)
 
@@ -69,6 +76,6 @@ class TestNoisyDeterminism:
     def test_noisy_runs_identical(self):
         circuit = random_clifford_circuit(4, 4, rng=0).measure_all()
         noise = NoiseModel(after_gate_1q=PauliChannel.depolarizing(0.01))
-        first = SuperSim(shots=300, rng=7, noise=noise).run(circuit)
-        second = SuperSim(shots=300, rng=7, noise=noise).run(circuit)
+        first = sim(shots=300, seed=7, noise=noise).run(circuit)
+        second = sim(shots=300, seed=7, noise=noise).run(circuit)
         assert_identical(first.distribution, second.distribution)

@@ -17,9 +17,14 @@ import pytest
 
 from repro.apps.qec import phase_flip_repetition_code
 from repro.circuits import Circuit, gates
-from repro.core import SuperSim
+from repro.core import SamplingConfig, SuperSim
 from repro.stabilizer import NoiseModel, PauliChannel
 from repro.statevector import StatevectorSimulator
+
+
+def noisy_sim(shots, noise, seed):
+    return SuperSim(sampling=SamplingConfig(shots=shots, noise=noise, seed=seed))
+
 
 SV = StatevectorSimulator()
 
@@ -38,7 +43,7 @@ class TestCoherentPlusStochastic:
     def test_runs_and_normalises(self):
         circuit = coherent_code_round(3, 0.12)
         noise = NoiseModel(after_gate_1q=PauliChannel.depolarizing(0.01))
-        sim = SuperSim(shots=4000, noise=noise, rng=0)
+        sim = noisy_sim(4000, noise, 0)
         dist = sim.run(circuit).distribution
         assert np.isclose(dist.total(), 1.0, atol=1e-9)
 
@@ -47,9 +52,7 @@ class TestCoherentPlusStochastic:
 
         circuit = coherent_code_round(3, 0.12)
         exact = SV.probabilities(circuit)
-        noisy_zero = SuperSim(
-            shots=40000, noise=NoiseModel(), rng=1
-        ).run(circuit).distribution
+        noisy_zero = noisy_sim(40000, NoiseModel(), 1).run(circuit).distribution
         assert hellinger_fidelity(exact, noisy_zero) > 0.99
 
     def test_stochastic_noise_raises_syndrome_rate(self):
@@ -61,11 +64,9 @@ class TestCoherentPlusStochastic:
                 p for outcome, p in dist if any(dist.bits(outcome)[d:])
             )
 
-        clean = SuperSim(shots=30000, noise=NoiseModel(), rng=2).run(circuit)
-        noisy = SuperSim(
-            shots=30000,
-            noise=NoiseModel(after_gate_2q=PauliChannel.depolarizing2(0.05)),
-            rng=2,
+        clean = noisy_sim(30000, NoiseModel(), 2).run(circuit)
+        noisy = noisy_sim(
+            30000, NoiseModel(after_gate_2q=PauliChannel.depolarizing2(0.05)), 2
         ).run(circuit)
         assert fire_rate(noisy.distribution) > fire_rate(clean.distribution) + 0.02
 
@@ -73,7 +74,7 @@ class TestCoherentPlusStochastic:
         # the coherent rotation's syndrome signature survives modest noise
         circuit = coherent_code_round(3, 0.25)
         noise = NoiseModel(after_gate_1q=PauliChannel.phase_flip(0.002))
-        dist = SuperSim(shots=30000, noise=noise, rng=3).run(circuit).distribution
+        dist = noisy_sim(30000, noise, 3).run(circuit).distribution
         analytic = float(np.sin(0.25 * np.pi / 2) ** 2)
         d = 3
         both_fire = sum(

@@ -5,7 +5,7 @@ import pytest
 
 from repro.analysis import hellinger_fidelity
 from repro.circuits import inject_t_gates, random_clifford_circuit
-from repro.core import SuperSim
+from repro.core import ExecutionConfig, SamplingConfig, SuperSim
 from repro.core.cutter import cut_circuit, find_cuts
 from repro.core.evaluator import FragmentEvaluator
 from repro.statevector import StatevectorSimulator
@@ -36,14 +36,17 @@ class TestParallelEvaluator:
 
     def test_parallel_supersim_matches_statevector(self):
         circuit = workload(3)
-        sim = SuperSim(parallel=4)
+        sim = SuperSim(execution=ExecutionConfig(parallel=4))
         expected = SV.probabilities(circuit)
         got = sim.run(circuit).distribution
         assert hellinger_fidelity(expected, got) > 1 - 1e-9
 
     def test_parallel_sampled_runs(self):
         circuit = workload(5)
-        sim = SuperSim(shots=2000, parallel=3, rng=1)
+        sim = SuperSim(
+            sampling=SamplingConfig(shots=2000, seed=1),
+            execution=ExecutionConfig(parallel=3),
+        )
         expected = SV.probabilities(circuit)
         got = sim.run(circuit).distribution
         assert hellinger_fidelity(expected, got) > 0.9

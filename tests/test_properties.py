@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 from repro.analysis import Distribution, hellinger_fidelity
 from repro.chform import CHForm
 from repro.circuits import Circuit, gates
-from repro.core import SuperSim, cut_circuit, find_cuts
+from repro.core import CutConfig, SuperSim, cut_circuit, find_cuts
 from repro.extended_stabilizer import StabilizerSum
 from repro.mps import MPSSimulator
 from repro.stabilizer import StabilizerSimulator
@@ -108,7 +108,7 @@ class TestCuttingInvariants:
     def test_reconstruction_matches_statevector(self, circuit):
         if len(find_cuts(circuit)) > 6:
             return  # keep runtime bounded; covered by unit tests
-        result = SuperSim(max_cuts=6).run(circuit)
+        result = SuperSim(cut=CutConfig(max_cuts=6)).run(circuit)
         exact = SV.probabilities(circuit)
         assert hellinger_fidelity(exact, result.distribution) > 1 - 1e-7
 

@@ -6,7 +6,7 @@ import pytest
 from repro.analysis import hellinger_fidelity
 from repro.apps.qec import near_clifford_phase_code
 from repro.circuits import Circuit, gates, inject_t_gates, random_clifford_circuit
-from repro.core import SuperSim
+from repro.core import SamplingConfig, SuperSim
 from repro.statevector import StatevectorSimulator
 
 SV = StatevectorSimulator()
@@ -67,7 +67,7 @@ class TestSparseAtScale:
 
     def test_sampled_sparse(self):
         circuit = near_clifford_phase_code(6, num_t=1, rng=1)
-        sim = SuperSim(shots=3000, rng=2)
+        sim = SuperSim(sampling=SamplingConfig(shots=3000, seed=2))
         dist = sim.sparse_probabilities(circuit)
         exact = EXACT.sparse_probabilities(circuit)
         assert hellinger_fidelity(exact, dist) > 0.9

@@ -5,7 +5,7 @@ import pytest
 
 from repro.analysis import hellinger_fidelity
 from repro.circuits import Circuit, gates, inject_t_gates, random_clifford_circuit
-from repro.core import SuperSim
+from repro.core import ExecutionConfig, SamplingConfig, SuperSim
 from repro.mps import MPSSimulator
 from repro.stabilizer import NoiseModel, PauliChannel
 from repro.statevector import StatevectorSimulator
@@ -60,7 +60,7 @@ class TestPluggableBackends:
     def test_mps_as_nonclifford_backend(self):
         rng = np.random.default_rng(9)
         circuit = inject_t_gates(random_clifford_circuit(4, 4, rng), 1, rng)
-        sim = SuperSim(nonclifford_backend=MPSSimulator())
+        sim = SuperSim(execution=ExecutionConfig(nonclifford_backend=MPSSimulator()))
         expected = SV.probabilities(circuit)
         got = sim.run(circuit).distribution
         assert hellinger_fidelity(expected, got) > 1 - 1e-8
@@ -68,7 +68,10 @@ class TestPluggableBackends:
     def test_mps_backend_sampled(self):
         rng = np.random.default_rng(10)
         circuit = inject_t_gates(random_clifford_circuit(3, 3, rng), 1, rng)
-        sim = SuperSim(shots=4000, nonclifford_backend=MPSSimulator(), rng=1)
+        sim = SuperSim(
+            sampling=SamplingConfig(shots=4000, seed=1),
+            execution=ExecutionConfig(nonclifford_backend=MPSSimulator()),
+        )
         expected = SV.probabilities(circuit)
         got = sim.run(circuit).distribution
         assert hellinger_fidelity(expected, got) > 0.95
@@ -77,14 +80,12 @@ class TestPluggableBackends:
 class TestNoisySuperSim:
     def test_noise_requires_shots(self):
         with pytest.raises(ValueError):
-            SuperSim(noise=NoiseModel()).run(
-                Circuit(2).append(gates.H, 0).append(gates.T, 0)
-            )
+            SamplingConfig(noise=NoiseModel())  # exact mode cannot be noisy
 
     def test_noiseless_noise_model_matches_exact(self):
         rng = np.random.default_rng(11)
         circuit = inject_t_gates(random_clifford_circuit(3, 3, rng), 1, rng)
-        sim = SuperSim(shots=20000, noise=NoiseModel(), rng=2)
+        sim = SuperSim(sampling=SamplingConfig(shots=20000, noise=NoiseModel(), seed=2))
         expected = SV.probabilities(circuit)
         got = sim.run(circuit).distribution
         assert hellinger_fidelity(expected, got) > 0.99
@@ -95,8 +96,10 @@ class TestNoisySuperSim:
         circuit.append(gates.X, 0).append(gates.X, 1)
         circuit.append(gates.T, 0)
         noise = NoiseModel(before_measure=PauliChannel.bit_flip(0.4))
-        noiseless = SuperSim(shots=30000, rng=3).run(circuit).distribution
-        noisy = SuperSim(shots=30000, noise=noise, rng=3).run(circuit).distribution
+        noiseless = SuperSim(sampling=SamplingConfig(shots=30000, seed=3)).run(circuit).distribution
+        noisy = SuperSim(
+            sampling=SamplingConfig(shots=30000, noise=noise, seed=3)
+        ).run(circuit).distribution
         assert noiseless[0b11] > 0.99
         # the T-gate fragment is noiseless, but the Clifford fragment's
         # measured qubits flip with probability 0.4
@@ -107,7 +110,9 @@ class TestNoisySuperSim:
         circuit = Circuit(1).append(gates.T, 0)  # single non-Clifford fragment
         circuit2 = Circuit(2).append(gates.CX, 0, 1).append(gates.T, 1)
         noise = NoiseModel(before_measure=PauliChannel.bit_flip(0.25))
-        dist = SuperSim(shots=60000, noise=noise, rng=4).run(circuit2).distribution
+        dist = SuperSim(
+            sampling=SamplingConfig(shots=60000, noise=noise, seed=4)
+        ).run(circuit2).distribution
         # qubit 0 lives in the Clifford fragment: P(1) = 0.25
         marginals = dist.single_bit_marginals()
         assert np.isclose(marginals[0, 1], 0.25, atol=0.02)

@@ -17,7 +17,14 @@ from repro.circuits import (
     random_clifford_circuit,
     random_near_clifford_circuit,
 )
-from repro.core import Cut, CutStrategy, SuperSim
+from repro.core import (
+    Cut,
+    CutConfig,
+    CutStrategy,
+    ExecutionConfig,
+    SamplingConfig,
+    SuperSim,
+)
 from repro.statevector import StatevectorSimulator
 
 SV = StatevectorSimulator()
@@ -104,7 +111,7 @@ class TestExactReconstruction:
         c.append(gates.H, 0).append(gates.CX, 0, 1)
         c.append(gates.T, 1)
         c.append(gates.CX, 1, 2).append(gates.H, 2)
-        sim = SuperSim(strategy=CutStrategy.GREEDY_MERGE)
+        sim = SuperSim(cut=CutConfig(strategy=CutStrategy.GREEDY_MERGE))
         assert_matches_statevector(c, sim=sim)
 
     def test_user_cuts(self):
@@ -115,7 +122,7 @@ class TestExactReconstruction:
         assert result.num_cuts == 1
 
     def test_max_cuts_guard(self):
-        sim = SuperSim(max_cuts=1)
+        sim = SuperSim(cut=CutConfig(max_cuts=1))
         c = Circuit(2)
         c.append(gates.H, 0).append(gates.T, 0).append(gates.H, 0)
         c.append(gates.H, 1).append(gates.T, 1).append(gates.H, 1)
@@ -151,7 +158,7 @@ class TestSampledMode:
     def test_sampled_reconstruction_close(self):
         rng = np.random.default_rng(11)
         c = inject_t_gates(random_clifford_circuit(4, 4, rng), 1, rng)
-        sim = SuperSim(shots=4000, rng=1)
+        sim = SuperSim(sampling=SamplingConfig(shots=4000, seed=1))
         expected = SV.probabilities(c)
         result = sim.run(c)
         assert hellinger_fidelity(expected, result.distribution) > 0.95
@@ -162,9 +169,11 @@ class TestSampledMode:
         c.append(gates.H, 0).append(gates.CX, 0, 1).append(gates.T, 1)
         c.append(gates.CX, 1, 2)
         expected = SV.probabilities(c)
-        plain = SuperSim(shots=300, rng=2).run(c).distribution
+        plain = SuperSim(sampling=SamplingConfig(shots=300, seed=2)).run(c).distribution
         refined = SuperSim(
-            shots=300, rng=2, snap_clifford=True, tomography=True
+            sampling=SamplingConfig(
+                shots=300, seed=2, snap_clifford=True, tomography=True
+            )
         ).run(c).distribution
         f_plain = hellinger_fidelity(expected, plain)
         f_refined = hellinger_fidelity(expected, refined)
@@ -175,7 +184,9 @@ class TestSampledMode:
     def test_clifford_shots_reduction(self):
         rng = np.random.default_rng(17)
         c = inject_t_gates(random_clifford_circuit(4, 3, rng), 1, rng)
-        sim = SuperSim(shots=2000, clifford_shots=64, snap_clifford=True, rng=3)
+        sim = SuperSim(sampling=SamplingConfig(
+            shots=2000, clifford_shots=64, snap_clifford=True, seed=3
+        ))
         expected = SV.probabilities(c)
         result = sim.run(c)
         assert hellinger_fidelity(expected, result.distribution) > 0.9
@@ -194,8 +205,8 @@ class TestSectionNineOptimizations:
     def test_pruning_does_not_change_answer(self):
         rng = np.random.default_rng(23)
         c = inject_t_gates(random_clifford_circuit(4, 4, rng), 1, rng)
-        with_prune = SuperSim(prune_zeros=True).run(c).distribution
-        without = SuperSim(prune_zeros=False).run(c).distribution
+        with_prune = SuperSim(execution=ExecutionConfig(prune_zeros=True)).run(c).distribution
+        without = SuperSim(execution=ExecutionConfig(prune_zeros=False)).run(c).distribution
         assert hellinger_fidelity(with_prune, without) > 1 - 1e-9
 
 
