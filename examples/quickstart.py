@@ -65,6 +65,21 @@ def main() -> None:
     fidelity = hellinger_fidelity(reference, result.distribution)
     print(f"\nHellinger fidelity vs statevector: {fidelity:.10f}")
 
+    # --- sampling is array-native end to end --------------------------------
+    # Distributions store packed key/probability arrays, so multi-shot
+    # sampling is a handful of NumPy kernels: expect hundreds of thousands
+    # to millions of shots/second even at hundreds of qubits (the 200q
+    # affine-form benchmark in benchmarks/perf_smoke.py runs at ~1M
+    # shots/s; BENCH_core.json tracks the current number).
+    import time
+
+    shots = 100_000
+    start = time.perf_counter()
+    counts = result.distribution.sample(shots, rng=0)
+    elapsed = time.perf_counter() - start
+    print(f"sampled {shots} shots in {elapsed * 1e3:.1f} ms "
+          f"(~{shots / elapsed:,.0f} shots/s, {len(counts)} distinct outcomes)")
+
     print("\ntop outcomes:")
     top = sorted(result.distribution, key=lambda kv: -kv[1])[:4]
     for outcome, p in top:

@@ -8,14 +8,38 @@ simulator (qubit 0 is the most significant index bit).
 The paper quantifies accuracy with the Hellinger fidelity, evaluated on the
 complete distribution for sparse outputs and on single-qubit marginals for
 dense (VQA-style) outputs; both metrics live here.
+
+Storage is array-native: a distribution holds packed parallel arrays —
+sorted outcome keys plus ``float64`` probabilities — instead of a Python
+dict, so the hot operations (marginalisation, sampling, per-bit marginals,
+fidelity metrics) are single NumPy kernels.  Outcomes up to 62 bits pack
+into one ``uint64`` key per entry; wider outcomes use the chunked-key
+scheme of :func:`pack_bit_rows_chunked` (62 bits per ``uint64`` column,
+most-significant chunk first).  The mapping-like surface (``probs``,
+``__getitem__``, iteration over ``(outcome, p)`` pairs) is preserved on
+top of the arrays.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Iterable, Mapping
 
 import numpy as np
+
+#: bits per packed key chunk (62 keeps every per-chunk dot product exact
+#: in uint64 arithmetic, with headroom for the weight accumulation)
+CHUNK_BITS = 62
+
+
+def _num_chunks(n_bits: int) -> int:
+    return max(1, -(-n_bits // CHUNK_BITS))
+
+
+def _chunk_widths(n_bits: int) -> list[int]:
+    """Bit widths of each key chunk, most-significant chunk first."""
+    return [
+        min(CHUNK_BITS, n_bits - CHUNK_BITS * j) for j in range(_num_chunks(n_bits))
+    ]
 
 
 def pack_bit_rows(bits: np.ndarray) -> np.ndarray:
@@ -33,13 +57,89 @@ def pack_bit_rows(bits: np.ndarray) -> np.ndarray:
     # wide rows: uint64 dot products per 62-bit chunk, then shift-or the
     # chunk keys into Python ints — far cheaper than an object-dtype matmul
     acc = None
-    for start in range(0, width, 62):
-        sub = bits[:, start : start + 62]
+    for start in range(0, width, CHUNK_BITS):
+        sub = bits[:, start : start + CHUNK_BITS]
         w = sub.shape[1]
         weights = (1 << np.arange(w - 1, -1, -1)).astype(np.uint64)
         vals = sub.astype(np.uint64) @ weights
         acc = vals.astype(object) if acc is None else (acc << w) | vals.astype(object)
     return acc
+
+
+def pack_bit_rows_chunked(bits: np.ndarray) -> np.ndarray:
+    """``(rows, chunks)`` uint64 keys of a ``(rows, width)`` bit matrix.
+
+    The chunked twin of :func:`pack_bit_rows`: instead of shift-or-ing the
+    per-chunk values into Python ints, the 62-bit chunk columns are kept as
+    a 2-D ``uint64`` array (most-significant chunk first) so downstream
+    ``np.unique(..., axis=0)`` accumulation stays fully vectorised at any
+    width.
+    """
+    bits = np.asarray(bits, dtype=bool)
+    width = bits.shape[1]
+    columns = []
+    for start in range(0, max(width, 1), CHUNK_BITS):
+        sub = bits[:, start : start + CHUNK_BITS]
+        w = sub.shape[1]
+        weights = (1 << np.arange(w - 1, -1, -1)).astype(np.uint64)
+        columns.append(sub.astype(np.uint64) @ weights)
+    return np.stack(columns, axis=1)
+
+
+def enumerated_bit_rows(n: int) -> np.ndarray:
+    """All ``2^n`` big-endian bit rows as a ``(2^n, n)`` bool matrix.
+
+    The standard operand for batch-enumerated readout (dense CH-form /
+    extended-stabilizer probabilities, ``to_statevector``).
+    """
+    index = np.arange(2**n, dtype=np.uint64)
+    shifts = np.arange(n - 1, -1, -1, dtype=np.uint64)
+    return ((index[:, None] >> shifts[None, :]) & np.uint64(1)).astype(bool)
+
+
+def pack_bit_cols(bits_t: np.ndarray) -> np.ndarray:
+    """Keys of a **bit-major** ``(width, rows)`` matrix (row = one bit).
+
+    The transposed twin of :func:`pack_bit_rows` /
+    :func:`pack_bit_rows_chunked`: samplers that build their outcome bits
+    one *bit position* at a time (each position a contiguous vector over
+    shots) can pack without ever materialising the shot-major layout.
+    Returns 1-D ``uint64`` keys below 63 bits, chunked ``(rows, c)`` keys
+    beyond.
+    """
+    bits_t = np.asarray(bits_t, dtype=bool)
+    width = bits_t.shape[0]
+    if width < 63:
+        weights = (1 << np.arange(width - 1, -1, -1)).astype(np.uint64)
+        return weights @ bits_t.astype(np.uint64)
+    columns = []
+    for start in range(0, width, CHUNK_BITS):
+        sub = bits_t[start : start + CHUNK_BITS]
+        w = sub.shape[0]
+        weights = (1 << np.arange(w - 1, -1, -1)).astype(np.uint64)
+        columns.append(weights @ sub.astype(np.uint64))
+    return np.stack(columns, axis=1)
+
+
+def chunked_keys_to_ints(keys: np.ndarray, n_bits: int) -> list[int]:
+    """Python-int outcomes of a ``(rows, chunks)`` chunked key array."""
+    widths = _chunk_widths(n_bits)
+    acc = keys[:, 0].astype(object)
+    for j in range(1, keys.shape[1]):
+        acc = (acc << widths[j]) | keys[:, j].astype(object)
+    return list(acc)
+
+
+def ints_to_chunked_keys(outcomes: Iterable[int], n_bits: int) -> np.ndarray:
+    """``(rows, chunks)`` chunked key array of an iterable of outcomes."""
+    widths = _chunk_widths(n_bits)
+    shifts = np.cumsum([0] + widths[::-1][:-1])[::-1]  # shift of each chunk
+    outcomes = list(outcomes)
+    out = np.empty((len(outcomes), len(widths)), dtype=np.uint64)
+    for j, (width, shift) in enumerate(zip(widths, shifts)):
+        mask = (1 << width) - 1
+        out[:, j] = [int((key >> int(shift)) & mask) for key in outcomes]
+    return out
 
 
 def counts_from_bit_rows(bits: np.ndarray) -> dict[int, int]:
@@ -48,18 +148,174 @@ def counts_from_bit_rows(bits: np.ndarray) -> dict[int, int]:
     return {int(k): int(c) for k, c in zip(keys, counts)}
 
 
-class Distribution:
-    """A (sparse) probability distribution over ``n_bits``-bit outcomes."""
+def _sort_order(keys: np.ndarray) -> np.ndarray:
+    """Ascending-outcome argsort of a 1-D or chunked key array.
 
-    __slots__ = ("n_bits", "probs")
+    For chunked keys ``np.lexsort`` with the most-significant chunk as the
+    primary key is exactly ascending numeric order.
+    """
+    if keys.ndim == 1:
+        return np.argsort(keys, kind="stable")
+    return np.lexsort(tuple(keys[:, j] for j in range(keys.shape[1] - 1, -1, -1)))
+
+
+def _sorted_group_starts(keys: np.ndarray):
+    """``(sorted_keys, group_start_indices)`` of a chunked key array.
+
+    Row-sorts in ascending outcome order and finds group boundaries with
+    one row comparison — substantially faster than ``np.unique(axis=0)``'s
+    structured-dtype sort.
+    """
+    order = _sort_order(keys)
+    sk = keys[order]
+    if not len(sk):
+        return sk, np.empty(0, dtype=np.intp), order
+    change = np.empty(len(sk), dtype=bool)
+    change[0] = True
+    np.any(sk[1:] != sk[:-1], axis=1, out=change[1:])
+    return sk, np.flatnonzero(change), order
+
+
+def _unique_accumulate(keys: np.ndarray, weights: np.ndarray):
+    """Sum ``weights`` over equal keys; returns sorted ``(keys, sums)``.
+
+    ``keys`` is either a 1-D ``uint64`` array or a 2-D chunked key array;
+    both come back sorted in ascending outcome order.
+    """
+    if keys.ndim == 1:
+        unique, inverse = np.unique(keys, return_inverse=True)
+        sums = np.bincount(inverse, weights=weights, minlength=len(unique))
+        return unique, sums
+    sk, starts, order = _sorted_group_starts(keys)
+    if not len(sk):
+        return sk, np.zeros(0)
+    sums = np.add.reduceat(np.asarray(weights, dtype=np.float64)[order], starts)
+    return sk[starts], sums
+
+
+def _unique_counts(keys: np.ndarray):
+    """Sorted unique keys and multiplicities (1-D or chunked rows)."""
+    if keys.ndim == 1:
+        return np.unique(keys, return_counts=True)
+    sk, starts, _order = _sorted_group_starts(keys)
+    if not len(sk):
+        return sk, np.zeros(0, dtype=np.intp)
+    counts = np.diff(np.append(starts, len(sk)))
+    return sk[starts], counts
+
+
+class Distribution:
+    """A (sparse) probability distribution over ``n_bits``-bit outcomes.
+
+    Internally key/probability parallel arrays (see the module docstring);
+    externally still mapping-like: ``dist[outcome]``, ``len(dist)``,
+    ``for outcome, p in dist`` and the ``probs`` dict view all work as
+    before.
+    """
+
+    __slots__ = ("n_bits", "_keys", "_vals", "_dict")
 
     def __init__(self, n_bits: int, probs: Mapping[int, float]):
         self.n_bits = int(n_bits)
-        self.probs: dict[int, float] = {
-            int(k): float(v) for k, v in probs.items() if v != 0.0
-        }
+        items = [(int(k), float(v)) for k, v in probs.items() if v != 0.0]
+        vals = np.array([v for _, v in items], dtype=np.float64)
+        if self.n_bits <= CHUNK_BITS:
+            keys = np.array([k for k, _ in items], dtype=np.uint64)
+        else:
+            keys = ints_to_chunked_keys((k for k, _ in items), self.n_bits)
+        order = _sort_order(keys)
+        self._keys = keys[order]
+        self._vals = vals[order]
+        self._dict: dict[int, float] | None = None
 
     # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_arrays(
+        cls,
+        n_bits: int,
+        keys: np.ndarray,
+        vals: np.ndarray,
+        *,
+        dedupe: bool = False,
+        assume_sorted: bool = False,
+        filter_zeros: bool = True,
+    ) -> "Distribution":
+        """Build directly from key/value arrays — the hot constructor.
+
+        ``keys`` is 1-D ``uint64`` (``n_bits <= 62``) or 2-D chunked;
+        ``dedupe`` accumulates duplicate keys, ``assume_sorted`` skips the
+        canonical sort when the caller already produced ascending keys.
+        """
+        self = cls.__new__(cls)
+        self.n_bits = int(n_bits)
+        keys = np.asarray(keys)
+        vals = np.asarray(vals, dtype=np.float64)
+        if self.n_bits > CHUNK_BITS and keys.ndim == 1:
+            # wide outcomes handed over as plain ints: re-chunk so the
+            # stored representation always matches ``chunked``
+            keys = ints_to_chunked_keys([int(k) for k in keys], self.n_bits)
+        if dedupe:
+            keys, vals = _unique_accumulate(keys, vals)
+        elif not assume_sorted:
+            order = _sort_order(keys)
+            keys = keys[order]
+            vals = vals[order]
+        if filter_zeros and len(vals):
+            live = vals != 0.0
+            if not live.all():
+                keys = keys[live]
+                vals = vals[live]
+        self._keys = keys
+        self._vals = vals
+        self._dict = None
+        return self
+
+    @classmethod
+    def from_bit_rows(
+        cls,
+        bits: np.ndarray,
+        weights: np.ndarray | None = None,
+        n_bits: int | None = None,
+    ) -> "Distribution":
+        """Distribution of a ``(rows, width)`` bit matrix — no dict round trip.
+
+        Without ``weights`` each row counts ``1/rows`` (the empirical
+        distribution of a shot matrix); with ``weights`` each row carries
+        its own probability mass (duplicated rows accumulate).
+        """
+        bits = np.asarray(bits, dtype=bool)
+        rows, width = bits.shape
+        if n_bits is None:
+            n_bits = width
+        if n_bits <= CHUNK_BITS:
+            keys = pack_bit_rows(bits)
+        else:
+            keys = pack_bit_rows_chunked(bits)
+        if weights is None:
+            # integer counts divided once — exact where 1/rows weights
+            # would accumulate float error
+            if rows == 0:
+                raise ValueError("empty bit matrix")
+            unique, counts = _unique_counts(keys)
+            return cls.from_arrays(
+                n_bits, unique, counts / rows, assume_sorted=True
+            )
+        return cls.from_arrays(n_bits, keys, weights, dedupe=True)
+
+    @classmethod
+    def from_bit_cols(cls, bits_t: np.ndarray) -> "Distribution":
+        """Empirical distribution of a bit-major ``(width, rows)`` matrix.
+
+        The transposed twin of :meth:`from_bit_rows` for samplers that
+        produce one contiguous vector per bit position (see
+        :func:`pack_bit_cols`).
+        """
+        width, rows = np.asarray(bits_t).shape
+        if rows == 0:
+            raise ValueError("empty bit matrix")
+        unique, counts = _unique_counts(pack_bit_cols(bits_t))
+        return cls.from_arrays(width, unique, counts / rows, assume_sorted=True)
 
     @classmethod
     def from_counts(cls, n_bits: int, counts: Mapping[int, int]) -> "Distribution":
@@ -71,37 +327,81 @@ class Distribution:
     @classmethod
     def from_array(cls, probabilities: np.ndarray) -> "Distribution":
         """From a dense array of length ``2^n`` (index = big-endian bits)."""
+        probabilities = np.asarray(probabilities, dtype=np.float64)
         size = len(probabilities)
         n_bits = size.bit_length() - 1
         if 2**n_bits != size:
             raise ValueError("array length must be a power of 2")
         nz = np.flatnonzero(probabilities)
-        return cls(n_bits, {int(i): float(probabilities[i]) for i in nz})
+        return cls.from_arrays(
+            n_bits, nz.astype(np.uint64), probabilities[nz], assume_sorted=True
+        )
 
     @classmethod
     def point(cls, n_bits: int, outcome: int) -> "Distribution":
         return cls(n_bits, {outcome: 1.0})
 
+    # -- array views ----------------------------------------------------------
+
+    @property
+    def keys_array(self) -> np.ndarray:
+        """Sorted outcome keys: ``uint64 (m,)`` or chunked ``uint64 (m, c)``."""
+        return self._keys
+
+    @property
+    def values_array(self) -> np.ndarray:
+        """Probabilities aligned with :attr:`keys_array`."""
+        return self._vals
+
+    @property
+    def chunked(self) -> bool:
+        """Whether keys are stored as multi-chunk rows (``n_bits > 62``)."""
+        return self._keys.ndim == 2
+
+    def key_ints(self) -> list[int]:
+        """Outcome keys as Python ints (sorted ascending)."""
+        if self.chunked:
+            return chunked_keys_to_ints(self._keys, self.n_bits)
+        return self._keys.tolist()
+
+    @property
+    def probs(self) -> dict[int, float]:
+        """Dict view ``{outcome: probability}`` (built lazily, cached)."""
+        if self._dict is None:
+            self._dict = dict(zip(self.key_ints(), self._vals.tolist()))
+        return self._dict
+
     # -- queries --------------------------------------------------------------
 
     def __getitem__(self, outcome: int) -> float:
-        return self.probs.get(int(outcome), 0.0)
+        outcome = int(outcome)
+        if self.chunked:
+            if outcome < 0 or outcome >> self.n_bits:
+                return 0.0
+            row = ints_to_chunked_keys([outcome], self.n_bits)[0]
+            hits = np.flatnonzero((self._keys == row).all(axis=1))
+            return float(self._vals[hits[0]]) if len(hits) else 0.0
+        if outcome < 0 or outcome >> CHUNK_BITS:
+            return 0.0
+        i = int(np.searchsorted(self._keys, np.uint64(outcome)))
+        if i < len(self._keys) and int(self._keys[i]) == outcome:
+            return float(self._vals[i])
+        return 0.0
 
     def __len__(self) -> int:
-        return len(self.probs)
+        return len(self._vals)
 
     def __iter__(self):
-        return iter(self.probs.items())
+        return iter(zip(self.key_ints(), self._vals.tolist()))
 
     def total(self) -> float:
-        return sum(self.probs.values())
+        return float(self._vals.sum())
 
     def to_array(self) -> np.ndarray:
         if self.n_bits > 26:
             raise ValueError("distribution too wide for dense conversion")
         out = np.zeros(2**self.n_bits)
-        for k, v in self.probs.items():
-            out[k] = v
+        out[self._keys.astype(np.int64)] = self._vals
         return out
 
     def bits(self, outcome: int) -> tuple[int, ...]:
@@ -110,75 +410,158 @@ class Distribution:
             (outcome >> (self.n_bits - 1 - i)) & 1 for i in range(self.n_bits)
         )
 
+    def bit_matrix(self, positions: Iterable[int] | None = None) -> np.ndarray:
+        """``(m, len(positions))`` bool matrix of the support's bits.
+
+        ``positions`` (default: all bit positions, in order) indexes bits
+        with the usual convention — position 0 is the first measured qubit,
+        i.e. the most significant key bit.
+        """
+        positions = (
+            list(range(self.n_bits)) if positions is None else list(positions)
+        )
+        out = np.empty((len(self._vals), len(positions)), dtype=bool)
+        if not self.chunked:
+            for col, pos in enumerate(positions):
+                shift = np.uint64(self.n_bits - 1 - pos)
+                out[:, col] = (self._keys >> shift) & np.uint64(1)
+            return out
+        widths = _chunk_widths(self.n_bits)
+        for col, pos in enumerate(positions):
+            chunk = pos // CHUNK_BITS
+            shift = np.uint64(widths[chunk] - 1 - (pos - chunk * CHUNK_BITS))
+            out[:, col] = (self._keys[:, chunk] >> shift) & np.uint64(1)
+        return out
+
     # -- transformations --------------------------------------------------------
 
     def normalized(self) -> "Distribution":
         total = self.total()
         if total <= 0:
             raise ValueError("cannot normalise an all-zero distribution")
-        return Distribution(self.n_bits, {k: v / total for k, v in self.probs.items()})
+        return Distribution.from_arrays(
+            self.n_bits, self._keys, self._vals / total, assume_sorted=True
+        )
 
     def clipped(self) -> "Distribution":
         """Drop negative quasi-probabilities (reconstruction noise) and renormalise."""
-        positive = {k: v for k, v in self.probs.items() if v > 0}
-        return Distribution(self.n_bits, positive).normalized()
+        positive = self._vals > 0
+        return Distribution.from_arrays(
+            self.n_bits, self._keys[positive], self._vals[positive],
+            assume_sorted=True,
+        ).normalized()
 
     def marginal(self, keep: Iterable[int]) -> "Distribution":
         """Marginalise onto bit positions ``keep`` (in the given order)."""
         keep = list(keep)
-        out: dict[int, float] = {}
-        for outcome, p in self.probs.items():
-            bits = self.bits(outcome)
-            key = 0
-            for b in (bits[i] for i in keep):
-                key = (key << 1) | b
-            out[key] = out.get(key, 0.0) + p
-        return Distribution(len(keep), out)
+        nk = len(keep)
+        if not self.chunked and nk <= CHUNK_BITS:
+            # single-word fast path: gather each kept bit straight from the
+            # packed keys into its output position — no bit matrix at all
+            new_keys = np.zeros(len(self._vals), dtype=np.uint64)
+            for out_pos, pos in enumerate(keep):
+                src = np.uint64(self.n_bits - 1 - pos)
+                dst = np.uint64(nk - 1 - out_pos)
+                new_keys |= ((self._keys >> src) & np.uint64(1)) << dst
+            return Distribution.from_arrays(nk, new_keys, self._vals, dedupe=True)
+        return Distribution.from_bit_rows(
+            self.bit_matrix(keep), weights=self._vals, n_bits=nk
+        )
 
     def single_bit_marginals(self) -> np.ndarray:
         """Array of shape ``(n_bits, 2)`` with per-bit outcome probabilities."""
-        out = np.zeros((self.n_bits, 2))
-        for outcome, p in self.probs.items():
-            for i, b in enumerate(self.bits(outcome)):
-                out[i, b] += p
+        ones = self.bit_matrix().astype(np.float64).T @ self._vals
+        out = np.empty((self.n_bits, 2))
+        out[:, 1] = ones
+        out[:, 0] = self._vals.sum() - ones
         return out
+
+    def _draw_indices(self, shots: int, rng) -> np.ndarray:
+        """``shots`` support indices ~ the distribution, via inverse CDF.
+
+        One cumsum + one uniform batch + one ``searchsorted`` — noticeably
+        cheaper than ``rng.choice(p=...)``, which re-validates and
+        re-normalises its probability vector on every call.  The uniforms
+        are sorted before the lookup (draws are exchangeable, both callers
+        immediately aggregate them), which keeps the binary searches
+        cache-local and returns the indices pre-sorted for ``np.unique``.
+        """
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        if not len(self._vals):
+            raise ValueError("cannot sample from an empty distribution")
+        if np.any(self._vals < 0):
+            raise ValueError("cannot sample from negative quasi-probabilities")
+        cdf = np.cumsum(self._vals)
+        total = cdf[-1]
+        if not total > 0:
+            raise ValueError("cannot sample from an all-zero distribution")
+        uniforms = rng.random(shots)
+        uniforms.sort()
+        uniforms *= total
+        return np.searchsorted(cdf, uniforms, side="right")
 
     def sample(self, shots: int, rng: np.random.Generator | int | None = None):
         """Draw ``shots`` outcomes; returns a counts dict."""
-        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-        keys = list(self.probs)
-        weights = np.array([self.probs[k] for k in keys])
-        weights = weights / weights.sum()
-        draws = rng.choice(len(keys), size=shots, p=weights)
-        counts: dict[int, int] = {}
-        for d in draws:
-            counts[keys[d]] = counts.get(keys[d], 0) + 1
-        return counts
+        chosen, counts = np.unique(self._draw_indices(shots, rng), return_counts=True)
+        if self.chunked:
+            picked = chunked_keys_to_ints(self._keys[chosen], self.n_bits)
+        else:
+            picked = self._keys[chosen].tolist()
+        return dict(zip(picked, counts.tolist()))
+
+    def resample(self, shots: int, rng: np.random.Generator | int | None = None):
+        """Empirical :class:`Distribution` of ``shots`` draws (array-native)."""
+        chosen, counts = np.unique(self._draw_indices(shots, rng), return_counts=True)
+        return Distribution.from_arrays(
+            self.n_bits, self._keys[chosen], counts / shots, assume_sorted=True
+        )
+
+    def parity_expectation(self) -> float:
+        """``sum_x p(x) (-1)^{popcount(x)}`` — the all-Z Pauli expectation."""
+        if self.chunked:
+            pops = np.bitwise_count(self._keys).sum(axis=1)
+        else:
+            pops = np.bitwise_count(self._keys)
+        signs = 1.0 - 2.0 * (pops.astype(np.int64) & 1)
+        return float(signs @ self._vals)
 
     def __repr__(self) -> str:
         preview = ", ".join(
             f"{k:0{self.n_bits}b}: {v:.4f}"
-            for k, v in sorted(self.probs.items())[:6]
+            for k, v in list(zip(self.key_ints(), self._vals))[:6]
         )
-        more = "..." if len(self.probs) > 6 else ""
+        more = "..." if len(self._vals) > 6 else ""
         return f"Distribution({self.n_bits} bits; {preview}{more})"
+
+
+def _union_values(p: Distribution, q: Distribution):
+    """Aligned value arrays of two distributions over their union support."""
+    if p.n_bits != q.n_bits:
+        raise ValueError("distributions have different widths")
+    pk, qk = p.keys_array, q.keys_array
+    if pk.ndim == 1:
+        union, inverse = np.unique(np.concatenate([pk, qk]), return_inverse=True)
+    else:
+        union, inverse = np.unique(
+            np.concatenate([pk, qk], axis=0), axis=0, return_inverse=True
+        )
+    pv = np.zeros(len(union))
+    qv = np.zeros(len(union))
+    pv[inverse[: len(p.values_array)]] = p.values_array
+    qv[inverse[len(p.values_array) :]] = q.values_array
+    return pv, qv
 
 
 def hellinger_fidelity(p: Distribution, q: Distribution) -> float:
     """``(sum_i sqrt(p_i q_i))**2`` — 1.0 for identical distributions."""
-    if p.n_bits != q.n_bits:
-        raise ValueError("distributions have different widths")
-    overlap = 0.0
-    for outcome, pv in p.probs.items():
-        qv = q[outcome]
-        if pv > 0 and qv > 0:
-            overlap += math.sqrt(pv * qv)
-    return overlap**2
+    pv, qv = _union_values(p, q)
+    overlap = np.sqrt(np.where((pv > 0) & (qv > 0), pv * qv, 0.0)).sum()
+    return float(overlap**2)
 
 
 def total_variation_distance(p: Distribution, q: Distribution) -> float:
-    keys = set(p.probs) | set(q.probs)
-    return 0.5 * sum(abs(p[k] - q[k]) for k in keys)
+    pv, qv = _union_values(p, q)
+    return float(0.5 * np.abs(pv - qv).sum())
 
 
 def mean_marginal_fidelity(p: Distribution, q: Distribution) -> float:
@@ -193,28 +576,21 @@ def mean_marginal_fidelity(p: Distribution, q: Distribution) -> float:
 
 def kl_divergence(p: Distribution, q: Distribution) -> float:
     """``D(p || q)``; infinite when p has support outside q's."""
-    if p.n_bits != q.n_bits:
-        raise ValueError("distributions have different widths")
-    total = 0.0
-    for outcome, pv in p.probs.items():
-        qv = q[outcome]
-        if qv <= 0.0:
-            return math.inf
-        total += pv * math.log(pv / qv)
-    return total
+    pv, qv = _union_values(p, q)
+    support = pv > 0
+    if np.any(support & (qv <= 0.0)):
+        return float("inf")
+    pv, qv = pv[support], qv[support]
+    return float((pv * np.log(pv / qv)).sum())
 
 
 def cross_entropy(p: Distribution, q: Distribution) -> float:
     """``-sum_x p(x) log q(x)`` (nats); infinite outside q's support."""
-    if p.n_bits != q.n_bits:
-        raise ValueError("distributions have different widths")
-    total = 0.0
-    for outcome, pv in p.probs.items():
-        qv = q[outcome]
-        if qv <= 0.0:
-            return math.inf
-        total -= pv * math.log(qv)
-    return total
+    pv, qv = _union_values(p, q)
+    support = pv > 0
+    if np.any(support & (qv <= 0.0)):
+        return float("inf")
+    return float(-(pv[support] * np.log(qv[support])).sum())
 
 
 def marginal_fidelity_from_arrays(

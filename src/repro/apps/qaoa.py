@@ -98,12 +98,19 @@ def maxcut_value(couplings: dict[tuple[int, int], int], bits) -> float:
 
 
 def expected_cut(couplings: dict[tuple[int, int], int], distribution) -> float:
-    """Expected cut value under an outcome distribution over all vertices."""
-    total = 0.0
-    for outcome, p in distribution:
-        bits = distribution.bits(outcome)
-        total += p * maxcut_value(couplings, bits)
-    return total
+    """Expected cut value under an outcome distribution over all vertices.
+
+    One vectorised pass over the distribution's support: the packed keys
+    expand to a bit matrix once, and every edge's crossing indicator is a
+    column comparison — no per-outcome Python loop.
+    """
+    bits = distribution.bit_matrix()
+    probs = distribution.values_array
+    edges = list(couplings.items())
+    left = bits[:, [i for (i, _j), _w in edges]]
+    right = bits[:, [j for (_i, j), _w in edges]]
+    weights = np.array([w for _e, w in edges], dtype=np.float64)
+    return float(probs @ ((left != right) @ weights))
 
 
 def expected_cut_from_correlations(

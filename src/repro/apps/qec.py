@@ -143,5 +143,8 @@ def logical_phase_error_rate(
         ),
     )
     bits = get_backend(backend).sample_noisy_bits(circuit, noise, shots, rng)
-    errors = sum(decode_majority(row) for row in bits)
+    # vectorised majority decode over all shots: corrected data bits are
+    # the X-basis readout columns; a logical error is a majority of ones
+    data = np.asarray(bits, dtype=bool)[:, :distance]
+    errors = int(np.count_nonzero(data.sum(axis=1) > distance // 2))
     return errors / shots

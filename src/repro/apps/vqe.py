@@ -140,11 +140,7 @@ def pauli_expectation(circuit: Circuit, pauli: PauliString, backend) -> float:
         dist = backend.run(rotated, keep_qubits=support).distribution
     else:
         dist = backend.probabilities(rotated)
-    value = 0.0
-    for outcome, p in dist:
-        parity = bin(outcome).count("1") % 2
-        value += p * (1 - 2 * parity)
-    return float(value * pauli.scalar().real)
+    return float(dist.parity_expectation() * pauli.scalar().real)
 
 
 def energy(circuit: Circuit, hamiltonian: Hamiltonian, backend=None) -> float:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.distributions import Distribution
+from repro.analysis.distributions import Distribution, enumerated_bit_rows
 from repro.backends.base import Backend, Capabilities, CircuitFeatures
 from repro.circuits.circuit import Circuit
 
@@ -78,6 +78,7 @@ class CHFormBackend(Backend):
         clifford_only=True,
         max_qubits=16,
         exact=True,
+        pool="process",
     )
 
     def __init__(self, max_qubits: int = 16):
@@ -98,12 +99,7 @@ class CHFormBackend(Backend):
     def probabilities(self, circuit: Circuit) -> Distribution:
         state = self._state(circuit)
         n = circuit.n_qubits
-        probs = np.empty(2**n)
-        for index in range(2**n):
-            bits = np.array(
-                [(index >> (n - 1 - i)) & 1 for i in range(n)], dtype=bool
-            )
-            probs[index] = abs(state.amplitude(bits)) ** 2
+        probs = np.abs(state.amplitudes(enumerated_bit_rows(n))) ** 2
         full = Distribution.from_array(probs)
         measured = circuit.measured_qubits
         if measured == tuple(range(n)):
@@ -111,9 +107,7 @@ class CHFormBackend(Backend):
         return full.marginal(list(measured))
 
     def sample(self, circuit, shots, rng=None) -> Distribution:
-        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-        exact = self.probabilities(circuit)
-        return Distribution.from_counts(exact.n_bits, exact.sample(shots, rng))
+        return self.probabilities(circuit).resample(shots, rng)
 
     def estimate_cost(
         self, features: CircuitFeatures, mode: str = "exact"
@@ -161,7 +155,9 @@ class MPSBackend(Backend):
     """Matrix-product-state simulation: wide but shallow-entanglement work."""
 
     name = "mps"
-    capabilities = Capabilities(max_qubits=None, max_qubits_exact=14, exact=True)
+    capabilities = Capabilities(
+        max_qubits=None, max_qubits_exact=14, exact=True, pool="process"
+    )
 
     def __init__(self, cutoff: float = 1e-12, max_bond: int | None = None):
         from repro.mps.simulator import MPSSimulator
@@ -193,6 +189,7 @@ class ExtendedStabilizerBackend(Backend):
         max_qubits_exact=16,
         exact=True,
         diagonal_nonclifford_only=True,
+        pool="process",
     )
 
     def __init__(

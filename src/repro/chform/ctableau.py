@@ -194,6 +194,27 @@ class CTypeTableau:
         phase, x, _z = self._image_of_x_string("inv", np.asarray(bits, dtype=bool))
         return phase, x
 
+    def apply_inverse_to_basis_states(self, bits_matrix: np.ndarray):
+        """Batched :meth:`apply_inverse_to_basis_state` over ``(B, n)`` rows.
+
+        Returns ``(k, out)`` with ``k`` an ``(B,)`` phase array and ``out``
+        a ``(B, n)`` bool matrix.  The sequential row-product of the scalar
+        path collapses into three matmuls: the X/Z images are GF(2) matrix
+        products, and the accumulated cross-phase — the parity of
+        ``|acc_z(<p) & x_p|`` summed over selected rows ``p`` — is the
+        quadratic form ``b^T triu(M, 1) b`` with ``M = (z x^T) mod 2``.
+        """
+        bits = np.asarray(bits_matrix, dtype=bool)
+        selected = bits.astype(np.uint8)
+        x = self.fwd_x.astype(np.uint8)
+        z = self.fwd_z.astype(np.uint8)
+        out = ((selected @ x) % 2).astype(bool)
+        linear = selected @ self.fwd_g
+        cross = np.triu((z @ x.T) % 2, k=1)
+        quad = np.einsum("bp,bp->b", selected @ cross, selected) % 2
+        phase = (linear + 2 * quad.astype(np.int64)) % 4
+        return phase, out
+
     # -- dense matrix (tests only) --------------------------------------------
 
     def to_matrix(self) -> np.ndarray:

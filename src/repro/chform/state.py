@@ -271,15 +271,33 @@ class CHForm:
         value = (-1.0) ** sign_exp * 2.0 ** (-n_h / 2)
         return self.w * (1j ** ((-k) % 4)) * value
 
+    def amplitudes(self, bits_matrix: np.ndarray) -> np.ndarray:
+        """Batched ``<x|phi>`` over a ``(B, n)`` bit matrix; ``(B,)`` complex.
+
+        The batch twin of :meth:`amplitude`: one call replaces ``B`` scalar
+        queries, so sampled- and enumerated-mode readout cost a few matmuls
+        instead of ``B`` Python round trips.
+        """
+        bits = np.asarray(bits_matrix, dtype=bool)
+        if bits.ndim != 2:
+            raise ValueError("amplitudes expects a (batch, n) bit matrix")
+        if self.is_zero():
+            return np.zeros(bits.shape[0], dtype=complex)
+        k, a = self.tableau.apply_inverse_to_basis_states(bits)
+        bare = ~self.v
+        dead = ((a ^ self.s) & bare).any(axis=1)
+        sign_exp = np.count_nonzero(a & self.s & self.v, axis=1)
+        n_h = int(np.count_nonzero(self.v))
+        value = np.where(dead, 0.0, (-1.0) ** sign_exp * 2.0 ** (-n_h / 2))
+        return self.w * (1j ** ((-k) % 4)) * value
+
     def to_statevector(self) -> np.ndarray:
         """Dense amplitudes (tests / small n only)."""
+        from repro.analysis.distributions import enumerated_bit_rows
+
         if self.n > 12:
             raise ValueError("to_statevector limited to 12 qubits")
-        out = np.zeros(2**self.n, dtype=complex)
-        for index in range(2**self.n):
-            bits = [(index >> (self.n - 1 - i)) & 1 for i in range(self.n)]
-            out[index] = self.amplitude(np.array(bits, dtype=bool))
-        return out
+        return self.amplitudes(enumerated_bit_rows(self.n))
 
     def norm_squared(self) -> float:
         """Always 1 for a non-zero CH form (or 0); useful as an invariant."""

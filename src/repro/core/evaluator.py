@@ -90,10 +90,7 @@ class SampledVariantData(VariantData):
         return pack_bit_rows(self.bits[:, cols])
 
     def joint(self, cols: list[int]) -> Distribution:
-        keys, counts = np.unique(self._keys(cols), return_counts=True)
-        return Distribution.from_counts(
-            len(cols), {int(k): int(c) for k, c in zip(keys, counts)}
-        )
+        return Distribution.from_bit_rows(self.bits[:, cols])
 
     def probability_at(self, cols: list[int], bits) -> float:
         target = 0
@@ -352,9 +349,23 @@ class FragmentEvaluator:
         return assignments, unique
 
     def _run_jobs(self, jobs: list[_Job]) -> dict[tuple, VariantData]:
-        """Execute jobs on the pool implied by the backends' capabilities."""
+        """Execute jobs on the pool implied by the backends' capabilities.
+
+        Python-bound backends (``capabilities.pool == "process"``: CH form,
+        MPS, extended stabilizer — interpreters loops, not GIL-releasing
+        kernels) default to a *process* pool sized by ``os.cpu_count()``
+        even when ``parallel`` was left at 1; per-variant seeds derive from
+        the root seed and the variant fingerprint, so results are
+        bit-for-bit identical at any worker count.  Numpy-kernel backends
+        keep the thread pool (and stay serial unless ``parallel`` > 1).
+        Each deduplicated job's circuit payload is pickled exactly once —
+        the batch is chunked across workers, and the variant cache has
+        already removed duplicate circuits.
+        """
         if not jobs:
             return {}
+        import os
+
         pool = self.pool
         if pool is None:
             pool = (
@@ -362,6 +373,21 @@ class FragmentEvaluator:
                 if any(j.backend.capabilities.pool == "process" for j in jobs)
                 else "thread"
             )
+        workers = self.parallel
+        if workers <= 1 and pool == "process" and self.pool is None:
+            # only auto-upgrade where workers fork: under a spawn start
+            # method (macOS/Windows default) a guard-less user script
+            # would re-execute itself in every worker.  allow_none avoids
+            # fixing the global start method as a library side effect.
+            import multiprocessing
+            import sys
+
+            method = multiprocessing.get_start_method(allow_none=True)
+            if method is None:
+                method = "fork" if sys.platform.startswith("linux") else "spawn"
+            if method == "fork":
+                workers = os.cpu_count() or 1
+        workers = min(workers, len(jobs))
         shared = (
             self.executor is not None
             and len(jobs) > 1
@@ -370,19 +396,23 @@ class FragmentEvaluator:
         self.last_stats["pool"] = (
             self.executor_kind or pool if shared else pool
         )
+        self.last_stats["workers"] = workers
         if shared:
             # a long-lived executor shared across runs (sweep batches);
             # only taken when its kind matches the jobs' resolved pool, so
             # process-preferring backends never silently land on threads
             values = list(self.executor.map(_execute_job, jobs))
-        elif self.parallel > 1 and len(jobs) > 1:
+        elif workers > 1 and len(jobs) > 1:
             if pool == "process":
                 from concurrent.futures import ProcessPoolExecutor as Executor
             else:
                 from concurrent.futures import ThreadPoolExecutor as Executor
 
-            with Executor(max_workers=self.parallel) as executor:
-                values = list(executor.map(_execute_job, jobs))
+            chunksize = max(1, len(jobs) // (workers * 4)) if pool == "process" else 1
+            with Executor(max_workers=workers) as executor:
+                values = list(
+                    executor.map(_execute_job, jobs, chunksize=chunksize)
+                )
         else:
             values = [_execute_job(job) for job in jobs]
         return {job.key: value for job, value in zip(jobs, values)}

@@ -208,33 +208,39 @@ def reconstruct_distribution(
         tensor_view = np.transpose(tensor_view, order)
         accumulator = tensor_view.reshape(-1)
     # build the sparse Distribution directly from the surviving entries —
-    # materialising every explicit (near-)zero of the 2^n accumulator as a
-    # dict entry defeats the sparse representation downstream
+    # materialising every explicit (near-)zero of the 2^n accumulator as
+    # an entry defeats the sparse representation downstream
     threshold = zero_threshold if prune_zeros else 0.0
     nonzero = np.flatnonzero(np.abs(accumulator) > threshold)
-    distribution = Distribution(
-        len(keep_qubits), {int(i): float(accumulator[i]) for i in nonzero}
+    distribution = Distribution.from_arrays(
+        len(keep_qubits),
+        nonzero.astype(np.uint64),
+        accumulator[nonzero],
+        assume_sorted=True,
     )
     return distribution, stats
 
 
 def reconstruct_sparse_distribution(
     cut_circuit: CutCircuit,
-    tensors: list[dict[tuple[int, ...], dict[int, float]]],
+    tensors: list[dict],
     kept_locals: list[list[int]],
     keep_qubits: list[int],
     prune_zeros: bool = True,
     zero_threshold: float = 1e-12,
     max_support: int = 1_000_000,
 ) -> tuple[Distribution, ReconstructionStats]:
-    """Sparse recombination: dict-valued fragment tensors, any width.
+    """Sparse recombination: array-valued fragment tensors, any width.
 
-    Per-fragment dictionaries are converted to key/value arrays once, so
-    each assignment's cross-fragment product is an array outer product and
-    the final merge is one ``np.unique``-keyed accumulation instead of a
-    Python dict-merge per term.  Support grows as the product of
-    per-fragment supports; a guard raises when it exceeds ``max_support``
-    (dense circuits should use marginal reconstruction instead).
+    ``tensors[f]`` maps Pauli combos to sparse slices — the array-backed
+    :class:`~repro.core.tomography.SparseKeyedVector` the tomography stage
+    emits (plain ``{outcome: value}`` dicts are still accepted and
+    converted) — so each assignment's cross-fragment product is an array
+    outer product and the final merge is one ``np.unique``-keyed
+    accumulation instead of a Python dict-merge per term.  Support grows
+    as the product of per-fragment supports; a guard raises when it
+    exceeds ``max_support`` (dense circuits should use marginal
+    reconstruction instead).
     """
     fragments = cut_circuit.fragments
     k = cut_circuit.num_cuts
@@ -251,8 +257,21 @@ def reconstruct_sparse_distribution(
     for tensor in tensors:
         entry = {}
         for combo, vec in tensor.items():
-            keys = np.array(list(vec.keys()), dtype=key_dtype)
-            vals = np.array(list(vec.values()), dtype=np.float64)
+            if isinstance(vec, dict):
+                keys = np.array(list(vec.keys()), dtype=key_dtype)
+                vals = np.array(list(vec.values()), dtype=np.float64)
+            else:  # SparseKeyedVector or a bare (keys, vals) pair
+                keys, vals = (
+                    (vec.keys, vec.vals) if hasattr(vec, "vals") else vec
+                )
+                vals = np.asarray(vals, dtype=np.float64)
+                if use_object:
+                    # Python-int keys: numpy int shifts would overflow
+                    keys = np.array(
+                        [int(key) for key in keys], dtype=object
+                    )
+                else:
+                    keys = np.asarray(keys).astype(np.uint64)
             maxabs = float(np.max(np.abs(vals))) if len(vals) else 0.0
             entry[combo] = (keys, vals, maxabs)
         frag_arrays.append(entry)
@@ -346,8 +365,7 @@ def reconstruct_sparse_distribution(
         live = np.abs(sums) > zero_threshold
     else:
         live = sums != 0.0
-    out = {
-        int(kk): float(vv)
-        for kk, vv in zip(unique_keys[live], sums[live])
-    }
-    return Distribution(m, out), stats
+    distribution = Distribution.from_arrays(
+        m, unique_keys[live], sums[live], assume_sorted=True
+    )
+    return distribution, stats

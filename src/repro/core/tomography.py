@@ -51,37 +51,50 @@ def _snap(value: float) -> float:
     return 0.0
 
 
+def _split_signed_keys(dist, qo: int, signs_mask: list[int]):
+    """``(x_key, sign, probs)`` arrays of a joint (kept + measured) dist.
+
+    Outcome keys split into kept bits (high) and measured-Pauli bits
+    (low); the sign is the parity of the masked measurement bits.  Works
+    straight off the distribution's packed key/probability arrays — no
+    dict materialisation.  Requires single-word keys (``None`` otherwise;
+    callers keep the per-outcome loop for >62-bit joints).
+    """
+    if dist.n_bits > 62 or dist.chunked:
+        return None
+    outcomes = dist.keys_array.astype(np.int64)
+    probs = dist.values_array
+    x_key = outcomes >> qo
+    sign = np.ones(len(outcomes))
+    if signs_mask:
+        m_bits = outcomes & ((1 << qo) - 1)
+        parity = np.zeros(len(outcomes), dtype=np.int64)
+        for j in signs_mask:
+            parity ^= (m_bits >> (qo - 1 - j)) & 1
+        sign = 1.0 - 2.0 * parity
+    return x_key, sign, probs
+
+
 def _signed_vectors(
     dist, n_kept: int, qo: int, signs_mask: list[int], need_weight: bool
 ):
     """(vec, weight) over kept outcomes, sign-weighted by measured Paulis.
 
-    Vectorised replacement for the per-outcome Python loop: outcome keys
-    split into kept bits (high) and measured-Pauli bits (low), the sign is
-    the parity of the masked measurement bits, and each accumulator fills
-    with one ``np.add.at``.  ``weight`` (the unsigned mass, used only by
-    Clifford snapping) is skipped unless requested.  Falls back to
-    ``None`` when keys exceed int64 range (callers keep the loop then).
+    Dense accumulator over all ``2^n_kept`` kept outcomes, filled with one
+    ``np.bincount`` per accumulator.  ``weight`` (the unsigned mass, used
+    only by Clifford snapping) is skipped unless requested.  Falls back to
+    ``None`` when keys exceed one word (callers keep the loop then).
     """
     if n_kept + qo > 62:
         return None
-    size = len(dist.probs)
-    outcomes = np.fromiter(dist.probs.keys(), dtype=np.int64, count=size)
-    probs = np.fromiter(dist.probs.values(), dtype=np.float64, count=size)
-    x_key = outcomes >> qo
-    sign = np.ones(size)
-    if signs_mask:
-        m_bits = outcomes & ((1 << qo) - 1)
-        parity = np.zeros(size, dtype=np.int64)
-        for j in signs_mask:
-            parity ^= (m_bits >> (qo - 1 - j)) & 1
-        sign = 1.0 - 2.0 * parity
-    vec = np.zeros(2**n_kept)
-    np.add.at(vec, x_key, probs * sign)
+    split = _split_signed_keys(dist, qo, signs_mask)
+    if split is None:  # pragma: no cover - joint width checked above
+        return None
+    x_key, sign, probs = split
+    vec = np.bincount(x_key, weights=probs * sign, minlength=2**n_kept)
     weight = None
     if need_weight:
-        weight = np.zeros(2**n_kept)
-        np.add.at(weight, x_key, probs)
+        weight = np.bincount(x_key, weights=probs, minlength=2**n_kept)
     return vec, weight
 
 
@@ -150,69 +163,126 @@ def build_fragment_tensor(
     return tensor
 
 
+class SparseKeyedVector:
+    """Key/value arrays of one sparse fragment-tensor slice.
+
+    Array-native replacement for the ``{kept_outcome: value}`` dicts the
+    sparse tomography path used to build: ``keys`` holds sorted outcome
+    keys (``int64``, or object-dtype Python ints beyond 62 bits) and
+    ``vals`` the aligned coefficients.  A small mapping-like surface
+    (iteration over keys, ``items``, ``get``) is kept for tests and
+    debugging; the reconstruction consumes the arrays directly.
+    """
+
+    __slots__ = ("keys", "vals")
+
+    def __init__(self, keys: np.ndarray, vals: np.ndarray):
+        self.keys = keys
+        self.vals = vals
+
+    def __len__(self) -> int:
+        return len(self.vals)
+
+    def __iter__(self):
+        return (int(k) for k in self.keys)
+
+    def items(self):
+        return ((int(k), float(v)) for k, v in zip(self.keys, self.vals))
+
+    def get(self, key: int, default: float = 0.0) -> float:
+        hits = np.flatnonzero(self.keys == key)
+        return float(self.vals[hits[0]]) if len(hits) else default
+
+    def __contains__(self, key: int) -> bool:
+        return bool(np.any(self.keys == key))
+
+
+def _signed_sparse_slice(dist, qo: int, signs_mask: list[int], snap: bool):
+    """``(keys, vals)`` of one variant's sign-weighted kept-outcome slice."""
+    if dist.n_bits <= 62 and not dist.chunked:
+        split = _split_signed_keys(dist, qo, signs_mask)
+        x_key, sign, probs = split
+    else:
+        # >62-bit joints: object-dtype Python-int keys, same vector algebra
+        outcomes = np.array(dist.key_ints(), dtype=object)
+        probs = dist.values_array
+        x_key = outcomes >> qo
+        sign = np.ones(len(probs))
+        if signs_mask:
+            m_bits = outcomes & ((1 << qo) - 1)
+            parity = np.zeros(len(probs), dtype=object)
+            for j in signs_mask:
+                parity ^= (m_bits >> (qo - 1 - j)) & 1
+            sign = 1.0 - 2.0 * parity.astype(np.float64)
+    unique, inverse = np.unique(x_key, return_inverse=True)
+    vals = np.bincount(inverse, weights=probs * sign, minlength=len(unique))
+    if snap and signs_mask:
+        weight = np.bincount(inverse, weights=probs, minlength=len(unique))
+        live = weight > 0
+        with np.errstate(invalid="ignore", divide="ignore"):
+            ratio = np.where(live, vals / np.maximum(weight, 1e-300), 0.0)
+        snapped = np.where(ratio > 0.5, 1.0, np.where(ratio < -0.5, -1.0, 0.0))
+        return unique[live], (weight * snapped)[live]
+    return unique, vals
+
+
 def build_sparse_fragment_tensor(
     data: FragmentData,
     keep_locals: list[int],
     snap_clifford: bool = False,
-) -> dict[tuple[int, ...], dict[int, float]]:
+) -> dict[tuple[int, ...], SparseKeyedVector]:
     """Sparse variant of :func:`build_fragment_tensor`.
 
-    Returns ``{pauli_combo: {kept_outcome: value}}`` with Pauli axes ordered
+    Returns ``{pauli_combo: SparseKeyedVector}`` with Pauli axes ordered
     as quantum inputs then quantum outputs.  Used when fragments keep many
     output bits but the output distribution has small support (e.g. the
     repetition-code benchmark at widths where a dense ``2^n`` vector could
-    not exist).
+    not exist).  Every slice stays in key/value array form from the
+    variant distribution through to reconstruction — no dict round trips.
     """
     fragment = data.fragment
     qi = len(fragment.quantum_inputs)
     qo = len(fragment.quantum_outputs)
     out_cols = [lq for _cut, lq in fragment.quantum_outputs]
     keep_cols = list(keep_locals)
-    n_kept = len(keep_cols)
     snap = snap_clifford and fragment.is_clifford
 
-    raw: dict[tuple[int, ...], dict[int, float]] = {}
+    raw: dict[tuple[int, ...], tuple[np.ndarray, np.ndarray]] = {}
     for preps in itertools.product(range(4), repeat=qi):
         for pauli_out in itertools.product(range(4), repeat=qo):
             bases = tuple(BASIS_FOR_PAULI[p] for p in pauli_out)
             dist = data.variant(preps, bases).joint(keep_cols + out_cols)
             signs_mask = [j for j, p in enumerate(pauli_out) if p != 0]
-            vec: dict[int, float] = {}
-            weight: dict[int, float] = {}
-            for outcome, prob in dist:
-                bits = dist.bits(outcome)
-                x_key = 0
-                for b in bits[:n_kept]:
-                    x_key = (x_key << 1) | b
-                sign = 1.0
-                for j in signs_mask:
-                    if bits[n_kept + j]:
-                        sign = -sign
-                vec[x_key] = vec.get(x_key, 0.0) + prob * sign
-                if snap and signs_mask:
-                    weight[x_key] = weight.get(x_key, 0.0) + prob
-            if snap and signs_mask:
-                vec = {
-                    x: w * _snap(vec.get(x, 0.0) / w)
-                    for x, w in weight.items()
-                    if w > 0
-                }
-            raw[preps + pauli_out] = vec
+            raw[preps + pauli_out] = _signed_sparse_slice(
+                dist, qo, signs_mask, snap
+            )
 
-    # contract prep axes with the Pauli/preparation coefficient matrix
-    tensor: dict[tuple[int, ...], dict[int, float]] = {}
+    # contract prep axes with the Pauli/preparation coefficient matrix:
+    # concatenate the contributing slices' arrays and fold equal keys
+    tensor: dict[tuple[int, ...], SparseKeyedVector] = {}
     for pauli_in in itertools.product(range(4), repeat=qi):
         for pauli_out in itertools.product(range(4), repeat=qo):
-            combined: dict[int, float] = {}
+            key_parts: list[np.ndarray] = []
+            val_parts: list[np.ndarray] = []
             for preps in itertools.product(range(4), repeat=qi):
                 coeff = 1.0
                 for p, s in zip(pauli_in, preps):
                     coeff *= PREP_COEFFICIENTS[p][s]
                 if coeff == 0.0:
                     continue
-                for x, v in raw[preps + pauli_out].items():
-                    combined[x] = combined.get(x, 0.0) + coeff * v
-            tensor[pauli_in + pauli_out] = combined
+                keys, vals = raw[preps + pauli_out]
+                key_parts.append(keys)
+                val_parts.append(coeff * vals)
+            if not key_parts:
+                tensor[pauli_in + pauli_out] = SparseKeyedVector(
+                    np.empty(0, dtype=np.int64), np.empty(0)
+                )
+                continue
+            keys = np.concatenate(key_parts)
+            vals = np.concatenate(val_parts)
+            unique, inverse = np.unique(keys, return_inverse=True)
+            sums = np.bincount(inverse, weights=vals, minlength=len(unique))
+            tensor[pauli_in + pauli_out] = SparseKeyedVector(unique, sums)
     return tensor
 
 

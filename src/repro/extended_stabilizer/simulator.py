@@ -7,7 +7,7 @@ import math
 
 import numpy as np
 
-from repro.analysis.distributions import Distribution
+from repro.analysis.distributions import Distribution, enumerated_bit_rows
 from repro.chform.state import CHForm
 from repro.circuits.circuit import Circuit
 
@@ -206,6 +206,14 @@ class StabilizerSum:
     def amplitude(self, bits: np.ndarray) -> complex:
         return sum((term.amplitude(bits) for term in self.terms), 0.0)
 
+    def amplitudes(self, bits_matrix: np.ndarray) -> np.ndarray:
+        """Batched amplitudes over a ``(B, n)`` bit matrix (sum over terms)."""
+        bits = np.asarray(bits_matrix, dtype=bool)
+        total = np.zeros(bits.shape[0], dtype=complex)
+        for term in self.terms:
+            total += term.amplitudes(bits)
+        return total
+
     def probability(self, bits: np.ndarray) -> float:
         return abs(self.amplitude(bits)) ** 2
 
@@ -259,10 +267,8 @@ class ExtendedStabilizerSimulator:
         if n > 16:
             raise ValueError("exact enumeration limited to 16 qubits")
         state = self.run(circuit)
-        probs = np.empty(2**n)
-        for index in range(2**n):
-            bits = np.array([(index >> (n - 1 - i)) & 1 for i in range(n)], bool)
-            probs[index] = state.probability(bits)
+        bits = enumerated_bit_rows(n)
+        probs = np.abs(state.amplitudes(bits)) ** 2
         full = Distribution.from_array(probs)
         measured = circuit.measured_qubits
         if measured == tuple(range(n)):
@@ -283,11 +289,11 @@ class ExtendedStabilizerSimulator:
         steps = self.mixing_steps if mixing_steps is None else mixing_steps
         bits = rng.integers(0, 2, size=n, dtype=np.uint8).astype(bool)
         p_current = state.probability(bits)
-        counts: dict[int, int] = {}
         measured = list(circuit.measured_qubits)
         total_steps = steps + shots
         flips = rng.integers(0, n, size=total_steps)
         unif = rng.random(total_steps)
+        recorded = np.empty((shots, n), dtype=bool)
         for step in range(total_steps):
             q = int(flips[step])
             bits[q] ^= True
@@ -297,8 +303,5 @@ class ExtendedStabilizerSimulator:
             else:
                 p_current = p_new
             if step >= steps:
-                key = 0
-                for b in bits[measured]:
-                    key = (key << 1) | int(b)
-                counts[key] = counts.get(key, 0) + 1
-        return Distribution.from_counts(len(measured), counts)
+                recorded[step - steps] = bits
+        return Distribution.from_bit_rows(recorded[:, measured])

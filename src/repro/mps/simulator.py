@@ -182,14 +182,7 @@ class MPSSimulator:
     ) -> Distribution:
         state = self.run(circuit)
         measured = list(circuit.measured_qubits)
-        bits = state.sample_bits(shots, rng)[:, measured]
-        counts: dict[int, int] = {}
-        for row in bits:
-            key = 0
-            for b in row:
-                key = (key << 1) | int(b)
-            counts[key] = counts.get(key, 0) + 1
-        return Distribution.from_counts(len(measured), counts)
+        return Distribution.from_bit_rows(state.sample_bits(shots, rng)[:, measured])
 
     def probabilities(self, circuit: Circuit) -> Distribution:
         """Exact distribution via dense conversion (small circuits only)."""

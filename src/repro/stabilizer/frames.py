@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.distributions import Distribution, counts_from_bit_rows
+from repro.analysis.distributions import Distribution
 from repro.circuits.circuit import Circuit
 from repro.stabilizer.noise import NoiseModel
 from repro.stabilizer.tableau import Tableau, _compile_ops
@@ -110,5 +110,4 @@ class FrameSampler:
     def sample(
         self, shots: int, rng: np.random.Generator | int | None = None
     ) -> Distribution:
-        bits = self.sample_bits(shots, rng)
-        return Distribution.from_counts(bits.shape[1], counts_from_bit_rows(bits))
+        return Distribution.from_bit_rows(self.sample_bits(shots, rng))

@@ -37,14 +37,17 @@ shot and exact probabilities are available without re-running the tableau.
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
-from repro.analysis.distributions import Distribution, counts_from_bit_rows
+from repro.analysis.distributions import Distribution
 from repro.circuits.circuit import Circuit
 from repro.paulis.pauli import PauliString
 
 _ONE = np.uint64(1)
 _WORD_SHIFTS = np.arange(64, dtype=np.uint64)
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 # gate names the packed engine applies natively (every other Clifford gate
 # goes through Gate.stabilizer_decomposition into H/S/CX)
@@ -214,6 +217,52 @@ def _apply_layers_row_packed(layers, x, z, sign) -> None:
             raise AssertionError(f"unknown layer gate {name!r}")
 
 
+def _gf2_matmul_bool(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``(a @ b) mod 2`` of two 0/1 matrices, exactly, through BLAS.
+
+    Integer matmuls never hit BLAS in NumPy (they run as naive C loops),
+    which made this the hot spot of batch sampling.  A float GEMM is
+    bit-exact here: every accumulated sum is an integer bounded by the
+    inner dimension, well inside float32's 2^24 exact-integer range
+    (float64 beyond that), and the parity is taken after the product.
+    """
+    dtype = np.float32 if a.shape[1] < (1 << 24) else np.float64
+    acc = a.astype(dtype) @ b.astype(dtype)
+    return (acc.astype(np.int64) & 1).astype(bool)
+
+
+def _enumerate_affine_image(
+    matrix: np.ndarray, offset: np.ndarray, weight: float
+) -> Distribution:
+    """Distribution of ``{mask @ matrix + offset : mask in F_2^k}``.
+
+    ``matrix`` is ``(k, m)`` uint8 (GF(2) generators as rows), ``offset``
+    ``(m,)`` bool; every image point carries ``weight``.  Enumeration is
+    vectorised in blocks: each block of masks becomes one GF(2) matmul and
+    one packed-key accumulation, so no per-outcome Python loop survives.
+    """
+    from repro.analysis.distributions import (
+        CHUNK_BITS,
+        pack_bit_rows,
+        pack_bit_rows_chunked,
+    )
+
+    k, m = matrix.shape
+    pack = pack_bit_rows if m <= CHUNK_BITS else pack_bit_rows_chunked
+    block = 1 << min(k, 16)
+    key_blocks = []
+    mask_bits = np.arange(k - 1, -1, -1, dtype=np.uint64)
+    for start in range(0, 1 << k, block):
+        masks = np.arange(start, start + block, dtype=np.uint64)
+        f = ((masks[:, None] >> mask_bits[None, :]) & np.uint64(1)).astype(np.uint8)
+        bits = _gf2_matmul_bool(f, matrix) ^ offset
+        key_blocks.append(pack(bits))
+    keys = np.concatenate(key_blocks, axis=0)
+    return Distribution.from_arrays(
+        m, keys, np.full(len(keys), weight), dedupe=True
+    )
+
+
 class AffineOutcomeDistribution:
     """Uniform distribution over ``{A f + b : f in F_2^k}`` (bits XOR).
 
@@ -228,6 +277,7 @@ class AffineOutcomeDistribution:
         self.b = np.asarray(b, dtype=bool)
         if self.A.shape[0] != self.b.shape[0]:
             raise ValueError("A and b disagree on the number of output bits")
+        self._gather_plan: tuple | None = None
 
     @property
     def n_bits(self) -> int:
@@ -237,45 +287,93 @@ class AffineOutcomeDistribution:
     def n_free(self) -> int:
         return self.A.shape[1]
 
+    def _plan(self) -> tuple:
+        """Split output rows by weight: constant / single-bit / dense.
+
+        By construction every free bit is itself an output coordinate, so
+        the bulk of ``A`` consists of unit rows — batch evaluation is then
+        a column *gather* from the free-bit matrix, and only the few
+        genuinely-dense rows (linear combinations of several free bits)
+        need a GF(2) matmul.  Computed once per distribution and cached.
+        """
+        if self._gather_plan is None:
+            row_weights = self.A.sum(axis=1)
+            unit_rows = np.flatnonzero(row_weights == 1)
+            unit_cols = (
+                np.argmax(self.A[unit_rows], axis=1)
+                if len(unit_rows)
+                else np.empty(0, dtype=np.intp)
+            )
+            dense_rows = np.flatnonzero(row_weights > 1)
+            self._gather_plan = (unit_rows, unit_cols, dense_rows)
+        return self._gather_plan
+
     def outcomes_for(self, f: np.ndarray) -> np.ndarray:
         """Batch-evaluate ``A f + b``; ``f`` has shape (shots, k)."""
         f = np.asarray(f, dtype=bool)
-        return (f @ self.A.T.astype(np.uint8) % 2).astype(bool) ^ self.b
+        unit_rows, unit_cols, dense_rows = self._plan()
+        out = np.zeros((f.shape[0], self.n_bits), dtype=bool)
+        if len(unit_rows):
+            out[:, unit_rows] = f[:, unit_cols]
+        if len(dense_rows):
+            out[:, dense_rows] = _gf2_matmul_bool(f, self.A[dense_rows].T)
+        return out ^ self.b
+
+    def _sample_bits_t(
+        self, shots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Bit-major ``(m, shots)`` uint8 outcome bits — the fast layout.
+
+        Free bits are drawn as packed 64-bit words and fanned out with
+        ``np.unpackbits``; the affine map is then a row *gather* for the
+        unit rows (the overwhelming majority — see :meth:`_plan`) plus one
+        small GF(2) matmul for the dense rows.  Everything stays bit-major,
+        so each operation touches contiguous per-bit vectors.
+        """
+        k = self.n_free
+        unit_rows, unit_cols, dense_rows = self._plan()
+        out = np.zeros((self.n_bits, shots), dtype=np.uint8)
+        if k:
+            n_words = (shots + 63) >> 6
+            words = rng.integers(0, 1 << 64, size=(k, n_words), dtype=np.uint64)
+            if _LITTLE_ENDIAN:
+                f_t = np.unpackbits(
+                    words.view(np.uint8), axis=1, bitorder="little"
+                )[:, :shots]
+            else:  # pragma: no cover - big-endian fallback
+                f_t = (
+                    ((words[:, :, None] >> _WORD_SHIFTS) & _ONE)
+                    .astype(np.uint8)
+                    .reshape(k, n_words << 6)[:, :shots]
+                )
+            if len(unit_rows):
+                out[unit_rows] = f_t[unit_cols]
+            if len(dense_rows):
+                out[dense_rows] = _gf2_matmul_bool(self.A[dense_rows], f_t)
+        out ^= self.b.astype(np.uint8)[:, None]
+        return out
 
     def sample_bits(
         self, shots: int, rng: np.random.Generator | int | None = None
     ) -> np.ndarray:
         """(shots, m) array of outcome bits."""
         rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-        f = rng.integers(0, 2, size=(shots, self.n_free), dtype=np.uint8).astype(bool)
-        return self.outcomes_for(f)
+        return np.ascontiguousarray(self._sample_bits_t(shots, rng).T).astype(bool)
 
     def sample(
         self, shots: int, rng: np.random.Generator | int | None = None
     ) -> Distribution:
-        bits = self.sample_bits(shots, rng)
-        return Distribution.from_counts(self.n_bits, counts_from_bit_rows(bits))
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        return Distribution.from_bit_cols(self._sample_bits_t(shots, rng))
 
     def to_distribution(self, max_free: int = 20) -> Distribution:
         """Exact distribution by enumerating the ``2^k`` support points."""
         k = self.n_free
         if k > max_free:
             raise ValueError(f"support of 2^{k} outcomes is too large to enumerate")
-        probs: dict[int, float] = {}
-        p = 2.0**-k
-        for mask in range(2**k):
-            f = np.array([(mask >> (k - 1 - i)) & 1 for i in range(k)], dtype=bool)
-            if k:
-                # GF(2) matrix-vector product: bool @ bool would OR, not XOR
-                products = (self.A.astype(np.uint8) @ f.astype(np.uint8)) % 2
-                outcome_bits = products.astype(bool) ^ self.b
-            else:
-                outcome_bits = self.b
-            key = 0
-            for bit in outcome_bits:
-                key = (key << 1) | int(bit)
-            probs[key] = probs.get(key, 0.0) + p
-        return Distribution(self.n_bits, probs)
+        return _enumerate_affine_image(
+            self.A.T.astype(np.uint8), self.b, 2.0**-k
+        )
 
     def probability_of(self, outcome_bits: np.ndarray) -> float:
         """Exact probability of one outcome (0 or ``2^-k``)."""
@@ -332,18 +430,12 @@ class AffineOutcomeDistribution:
         rank = len(basis)
         if rank > 24:
             raise ValueError(f"marginal support 2^{rank} is too large")
-        probs: dict[int, float] = {}
-        p = 2.0**-rank
-        for mask in range(2**rank):
-            bits = sub_b.astype(np.uint8).copy()
-            for i in range(rank):
-                if (mask >> i) & 1:
-                    bits ^= basis[i]
-            key = 0
-            for bit in bits:
-                key = (key << 1) | int(bit)
-            probs[key] = probs.get(key, 0.0) + p
-        return Distribution(m, probs)
+        generators = (
+            np.array(basis, dtype=np.uint8)
+            if basis
+            else np.zeros((0, m), dtype=np.uint8)
+        )
+        return _enumerate_affine_image(generators, sub_b, 2.0**-rank)
 
     def probability_of_partial(self, rows: list[int], bits) -> float:
         """Probability that the selected output bits take the given values.

@@ -60,10 +60,7 @@ class StatevectorSimulator:
         rng: np.random.Generator | int | None = None,
     ) -> Distribution:
         """Empirical distribution from ``shots`` samples (a sampler, per §VI)."""
-        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-        exact = self.probabilities(circuit)
-        counts = exact.sample(shots, rng)
-        return Distribution.from_counts(exact.n_bits, counts)
+        return self.probabilities(circuit).resample(shots, rng)
 
     def expectation(self, circuit: Circuit, pauli: PauliString) -> float:
         """Exact ``<psi| P |psi>`` of the final state (must be real)."""
