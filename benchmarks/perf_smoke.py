@@ -19,6 +19,7 @@ matching it within 1e-9), so CI fails loudly on a perf regression.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import sys
 import time
@@ -30,7 +31,11 @@ from repro.circuits import Circuit, gates, random_clifford_circuit
 from repro.core import SuperSim
 from repro.core.cutter import cut_circuit
 from repro.core.fragments import Cut
-from repro.core.reconstruction import reconstruct_distribution
+from repro.core.config import ReconstructionConfig
+from repro.core.reconstruction import (
+    reconstruct_distribution,
+    reconstruct_marginal,
+)
 from repro.core.tomography import build_fragment_tensor
 from repro.stabilizer._reference import ReferenceTableau
 from repro.stabilizer.tableau import Tableau
@@ -232,6 +237,82 @@ def bench_reconstruction() -> dict:
     }
 
 
+def bench_streaming_reconstruction() -> dict:
+    """Windowed marginal vs dense-then-marginalize at the widest dense size.
+
+    Same k=4 chain workload as ``bench_reconstruction`` (21 kept bits is
+    the widest size the dense ``4^k * 2^n`` path comfortably serves):
+    an 8-bit marginal via :func:`reconstruct_marginal` reduces the
+    fragment tensors *before* contracting, so peak accumulator memory is
+    ``2^8`` entries instead of ``2^21``.  A 61-qubit recursive run rides
+    along as the dense-infeasible demonstration: top-k reconstruction
+    with peak memory bounded by ``2^qubit_limit``.
+    """
+    circuit, cuts = _chain_workload(blocks=5, width=5, depth=6, seed=1)
+    cc = cut_circuit(circuit, cuts)
+    sim = SuperSim()
+    data = sim._evaluator().evaluate_all(cc.fragments)
+    keep = list(circuit.measured_qubits)
+    keep_set = set(keep)
+    kept_locals = [
+        [lq for oq, lq in f.circuit_outputs if oq in keep_set]
+        for f in cc.fragments
+    ]
+    tensors = [
+        build_fragment_tensor(d, kl) for d, kl in zip(data, kept_locals)
+    ]
+    window = keep[:8]
+
+    def dense():
+        dist, stats = reconstruct_distribution(
+            cc, tensors, kept_locals, keep, prune_zeros=False
+        )
+        return dist.marginal(range(len(window))), stats
+
+    def windowed():
+        return reconstruct_marginal(cc, tensors, kept_locals, window)
+
+    dense_seconds = _best(lambda: dense(), repeats=3)
+    windowed_seconds = _best(lambda: windowed(), repeats=3)
+    dense_dist, dense_stats = dense()
+    windowed_dist, windowed_stats = windowed()
+    max_abs_diff = max(
+        abs(dense_dist[key] - windowed_dist[key])
+        for key in set(dense_dist.probs) | set(windowed_dist.probs)
+    )
+
+    wide = Circuit(61).append(gates.H, 0)
+    for q in range(60):
+        wide.append(gates.CX, q, q + 1)
+    wide.append(gates.XPow(0.25), 30)
+    wide_sim = SuperSim(
+        reconstruction=ReconstructionConfig(qubit_limit=16, top_k=16)
+    )
+    recursive_seconds = _best(lambda: wide_sim.run(wide), repeats=3)
+    wide_result = wide_sim.run(wide)
+    return {
+        "workload": (
+            f"{circuit.n_qubits}q chain k={cc.num_cuts}: 8-bit windowed "
+            "marginal vs dense-then-marginalize; 61q recursive top-k demo"
+        ),
+        "dense_seconds": dense_seconds,
+        "windowed_seconds": windowed_seconds,
+        "speedup": dense_seconds / windowed_seconds,
+        "max_abs_diff": max_abs_diff,
+        "dense_peak_entries": dense_stats.peak_window_entries,
+        "windowed_peak_entries": windowed_stats.peak_window_entries,
+        "peak_memory_ratio": (
+            dense_stats.peak_window_entries
+            / windowed_stats.peak_window_entries
+        ),
+        "recursive_61q_seconds": recursive_seconds,
+        "recursive_61q_mode": wide_result.reconstruction_mode,
+        "recursive_61q_windows": wide_result.reconstruction_windows,
+        "recursive_61q_peak_entries": wide_result.stats.peak_window_entries,
+        "recursive_61q_covered": wide_result.covered_probability,
+    }
+
+
 # the array-native data plane samples the 200q affine form at ~1.3M
 # shots/s on a quiet machine (the dict-based seed managed ~41k); the CI
 # floor is the 10x acceptance level (~600k nominal) with the 0.7 noise
@@ -251,8 +332,13 @@ def main() -> int:
         "distribution_kernels": bench_distribution_kernels(),
         "mps_sampling": bench_mps_sampling(),
         "reconstruction_k4": bench_reconstruction(),
+        "streaming_reconstruction": bench_streaming_reconstruction(),
     }
-    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    # atomic write: CI reads the artifact even if a later run is killed
+    # mid-write, so stage to a tmp file and os.replace into place
+    tmp = OUTPUT.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(results, indent=2) + "\n")
+    os.replace(tmp, OUTPUT)
     print(json.dumps(results, indent=2))
 
     failures = []
@@ -284,6 +370,34 @@ def main() -> int:
         failures.append(
             "einsum reconstruction diverges from the loop by "
             f"{results['reconstruction_k4']['max_abs_diff']:.2e}"
+        )
+    streaming = results["streaming_reconstruction"]
+    if streaming["max_abs_diff"] > 1e-9:
+        failures.append(
+            "windowed marginal diverges from the dense marginal by "
+            f"{streaming['max_abs_diff']:.2e}"
+        )
+    # 2^21 dense accumulator vs 2^8 window = 8192x; gate well below so
+    # only a real regression (the window re-densifying) fails
+    if streaming["peak_memory_ratio"] < 1000.0:
+        failures.append(
+            "windowed reconstruction peak-memory ratio only "
+            f"{streaming['peak_memory_ratio']:.0f}x (< 1000x)"
+        )
+    if streaming["speedup"] <= 1.0:
+        failures.append(
+            "windowed marginal no faster than dense-then-marginalize "
+            f"({streaming['speedup']:.2f}x)"
+        )
+    if streaming["recursive_61q_covered"] < 1.0 - 1e-6:
+        failures.append(
+            "61q recursive reconstruction covers only "
+            f"{streaming['recursive_61q_covered']:.6f} of the mass"
+        )
+    if streaming["recursive_61q_peak_entries"] > 2**16:
+        failures.append(
+            "61q recursive peak window "
+            f"{streaming['recursive_61q_peak_entries']} entries > 2^16"
         )
     if failures:
         print("PERF SMOKE FAILURES:", "; ".join(failures), file=sys.stderr)

@@ -85,6 +85,13 @@ def main() -> None:
     for outcome, p in top:
         print(f"  |{outcome:0{n}b}>  p = {p:.4f}")
 
+    # --- wide circuits: reconstruction memory is bounded, not 2^n ------------
+    # Past ReconstructionConfig.max_dense_bits (default 26) the pipeline
+    # auto-switches to recursive dynamic definition: a calibrated top-k
+    # distribution at O(4^k * 2^qubit_limit) memory, plus exact marginals
+    # over small windows via sim.marginal_probabilities(circuit, windows).
+    # See examples/wide_circuit_reconstruction.py for a 61-qubit run.
+
 
 if __name__ == "__main__":
     main()

@@ -1,4 +1,4 @@
-"""Analysis utilities: probability distributions and fidelity metrics."""
+"""Analysis utilities: distributions, fidelity metrics, streaming folds."""
 
 from repro.analysis.distributions import (
     Distribution,
@@ -8,9 +8,11 @@ from repro.analysis.distributions import (
     mean_marginal_fidelity,
     total_variation_distance,
 )
+from repro.analysis.streaming import StreamingAccumulator
 
 __all__ = [
     "Distribution",
+    "StreamingAccumulator",
     "hellinger_fidelity",
     "mean_marginal_fidelity",
     "total_variation_distance",

@@ -1,0 +1,257 @@
+"""Online accumulation of outcome streams at fixed memory.
+
+Wide cut circuits produce more distinct outcomes than any joint object
+can hold, but what analyses actually consume is small: a handful of
+marginals (QAOA edges, per-qubit readout) and the heaviest outcomes.
+:class:`StreamingAccumulator` folds batches of sampled bit rows — e.g.
+per-variant shot matrices straight off a sampler — into exactly those
+summaries, never building the joint distribution:
+
+* each tracked *marginal* is a dense ``2**len(positions)`` float array
+  updated with one ``np.bincount`` per batch;
+* the *top-k* tracker is a bounded counter table (the classic
+  space-saving sketch shape): when it outgrows ``capacity`` the lightest
+  entries are evicted, and ``evicted_weight`` bounds how much mass any
+  surviving count may be missing.
+
+Determinism: ``update`` folds batches with pure array addition, so a
+fixed sequence of batches gives bit-for-bit identical state regardless
+of batch sizes.  For parallel producers, give each worker its *own*
+accumulator and :meth:`merge` the partials in a canonical (batch-index)
+order — merging is array addition plus a key-sorted top-table fold, so
+the merged state is identical to the serial run whenever no eviction
+occurred, and reproducible for a fixed merge order always.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.distributions import Distribution, pack_bit_rows
+
+#: widest dense marginal array the accumulator will allocate (2^26 floats)
+_MAX_MARGINAL_BITS = 26
+
+
+class StreamingAccumulator:
+    """Fold sampled outcome batches into marginals and top-k counts.
+
+    Parameters
+    ----------
+    n_bits:
+        Width of the incoming outcomes (bits per row / key).
+    marginals:
+        Iterable of bit-position sequences to track dense marginals over
+        (each at most 26 positions; more can be added later with
+        :meth:`track_marginal`).
+    top_k:
+        How many heaviest outcomes :meth:`top_distribution` should be
+        able to return; 0 disables outcome tracking entirely (marginals
+        only — then memory is independent of the stream).
+    capacity:
+        Size of the bounded outcome-counter table (default
+        ``max(4 * top_k, 1024)``).  Larger capacity tightens the
+        ``evicted_weight`` error bound.
+    """
+
+    def __init__(
+        self,
+        n_bits: int,
+        marginals=(),
+        top_k: int = 0,
+        capacity: int | None = None,
+    ):
+        self.n_bits = int(n_bits)
+        if self.n_bits < 1:
+            raise ValueError("n_bits must be at least 1")
+        if top_k < 0:
+            raise ValueError("top_k must be non-negative")
+        self.top_k = int(top_k)
+        if capacity is None:
+            capacity = max(4 * self.top_k, 1024) if self.top_k else 0
+        if self.top_k and capacity < self.top_k:
+            raise ValueError("capacity must be at least top_k")
+        self.capacity = int(capacity)
+        self._marginals: dict[tuple[int, ...], np.ndarray] = {}
+        for positions in marginals:
+            self.track_marginal(positions)
+        self._top: dict[int, float] = {}
+        self.total_weight = 0.0
+        self.num_records = 0
+        #: upper bound on the mass any surviving top count may be missing
+        #: (grows only when the bounded counter table evicts entries)
+        self.evicted_weight = 0.0
+
+    # -- configuration -------------------------------------------------------
+
+    def track_marginal(self, positions) -> tuple[int, ...]:
+        """Start tracking the marginal over ``positions`` (idempotent).
+
+        Must be called before any batch whose mass should count toward
+        it; returns the canonical key usable with :meth:`marginal`.
+        """
+        key = tuple(int(p) for p in positions)
+        if not key:
+            raise ValueError("marginal needs at least one bit position")
+        if len(set(key)) != len(key):
+            raise ValueError("marginal positions contain duplicates")
+        for p in key:
+            if not 0 <= p < self.n_bits:
+                raise ValueError(f"bit position {p} out of range")
+        if len(key) > _MAX_MARGINAL_BITS:
+            raise ValueError(
+                f"marginal over {len(key)} bits needs a dense 2**{len(key)} "
+                f"array (limit: {_MAX_MARGINAL_BITS}); track narrower windows"
+            )
+        self._marginals.setdefault(key, np.zeros(2 ** len(key)))
+        return key
+
+    # -- folding -------------------------------------------------------------
+
+    def update(self, bits=None, keys=None, weights=None) -> None:
+        """Fold one batch of outcomes.
+
+        ``bits`` is a ``(rows, n_bits)`` bool matrix (the native shape of
+        sampled variant data); alternatively ``keys`` is an iterable of
+        integer outcomes (any width — Python ints beyond 62 bits).
+        ``weights`` defaults to one per row (shot counting).
+        """
+        if (bits is None) == (keys is None):
+            raise ValueError("pass exactly one of bits= or keys=")
+        if bits is not None:
+            bits = np.asarray(bits, dtype=bool)
+            if bits.ndim != 2 or bits.shape[1] != self.n_bits:
+                raise ValueError(
+                    f"expected a (rows, {self.n_bits}) bit matrix, "
+                    f"got shape {bits.shape}"
+                )
+            rows = bits.shape[0]
+        else:
+            keys = [int(k) for k in keys]
+            rows = len(keys)
+        if weights is None:
+            weights = np.ones(rows)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (rows,):
+                raise ValueError("weights length does not match batch rows")
+        if rows == 0:
+            return
+
+        for positions, acc in self._marginals.items():
+            if bits is not None:
+                idx = pack_bit_rows(bits[:, positions]).astype(np.int64)
+            else:
+                width = len(positions)
+                idx = np.fromiter(
+                    (
+                        sum(
+                            ((key >> (self.n_bits - 1 - p)) & 1)
+                            << (width - 1 - j)
+                            for j, p in enumerate(positions)
+                        )
+                        for key in keys
+                    ),
+                    dtype=np.int64,
+                    count=rows,
+                )
+            acc += np.bincount(idx, weights=weights, minlength=acc.size)
+
+        if self.top_k:
+            if bits is not None:
+                batch_keys = pack_bit_rows(bits)  # object ints beyond 62 bits
+            else:
+                batch_keys = keys
+            folded, sums = self._fold_batch(batch_keys, weights)
+            top = self._top
+            for key, weight in zip(folded, sums):
+                top[key] = top.get(key, 0.0) + weight
+            if len(top) > self.capacity:
+                self._evict()
+
+        self.total_weight += float(weights.sum())
+        self.num_records += rows
+
+    @staticmethod
+    def _fold_batch(batch_keys, weights):
+        """Within-batch deduplication in ascending key order."""
+        sums: dict[int, float] = {}
+        for key, weight in zip(batch_keys, weights):
+            key = int(key)
+            sums[key] = sums.get(key, 0.0) + float(weight)
+        folded = sorted(sums)
+        return folded, [sums[k] for k in folded]
+
+    def _evict(self) -> None:
+        """Shrink the counter table to the heaviest ``capacity // 2`` keys.
+
+        Survivors are chosen by (weight desc, key asc) — fully
+        deterministic — and the heaviest evicted count raises
+        ``evicted_weight``, the standard space-saving error bound on any
+        later-reported top count.
+        """
+        keep = max(self.capacity // 2, self.top_k)
+        ranked = sorted(self._top.items(), key=lambda kv: (-kv[1], kv[0]))
+        evicted = ranked[keep:]
+        if evicted:
+            self.evicted_weight = max(self.evicted_weight, evicted[0][1])
+        self._top = dict(ranked[:keep])
+
+    def merge(self, other: "StreamingAccumulator") -> "StreamingAccumulator":
+        """Fold another accumulator's state into this one (in place).
+
+        The partner must track the same width and marginal set.  Merging
+        per-worker partials in a canonical order (e.g. ascending batch
+        index) gives bit-for-bit reproducible totals at any parallelism.
+        """
+        if other.n_bits != self.n_bits:
+            raise ValueError("cannot merge accumulators of different widths")
+        if set(other._marginals) != set(self._marginals):
+            raise ValueError("cannot merge accumulators tracking different marginals")
+        for positions, acc in self._marginals.items():
+            acc += other._marginals[positions]
+        top = self._top
+        for key in sorted(other._top):
+            top[key] = top.get(key, 0.0) + other._top[key]
+        if self.capacity and len(top) > self.capacity:
+            self._evict()
+        self.total_weight += other.total_weight
+        self.num_records += other.num_records
+        self.evicted_weight = max(self.evicted_weight, other.evicted_weight)
+        return self
+
+    # -- summaries -----------------------------------------------------------
+
+    def marginal(self, positions) -> Distribution:
+        """The tracked marginal over ``positions``, normalised."""
+        key = tuple(int(p) for p in positions)
+        if key not in self._marginals:
+            raise KeyError(f"marginal {key} was not tracked")
+        if self.total_weight <= 0:
+            raise ValueError("no mass accumulated yet")
+        return Distribution.from_array(self._marginals[key] / self.total_weight)
+
+    def marginal_array(self, positions) -> np.ndarray:
+        """Raw (unnormalised) accumulated mass over ``positions``."""
+        key = tuple(int(p) for p in positions)
+        if key not in self._marginals:
+            raise KeyError(f"marginal {key} was not tracked")
+        return self._marginals[key].copy()
+
+    def top_distribution(self, k: int | None = None) -> Distribution:
+        """The ``k`` (default ``top_k``) heaviest outcomes, as probabilities.
+
+        Calibrated, not renormalised: values sum to the covered fraction
+        of the stream, and each value may undercount by at most
+        ``evicted_weight / total_weight``.
+        """
+        if not self.top_k:
+            raise ValueError("top-k tracking is disabled (top_k=0)")
+        if self.total_weight <= 0:
+            raise ValueError("no mass accumulated yet")
+        k = self.top_k if k is None else int(k)
+        ranked = sorted(self._top.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+        return Distribution(
+            self.n_bits,
+            {key: weight / self.total_weight for key, weight in ranked},
+        )

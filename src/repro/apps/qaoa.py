@@ -143,3 +143,60 @@ def expected_cut_from_correlations(
         zz = pauli_expectation(circuit, PauliString.from_label(label), backend)
         total += w * (1 - zz) / 2
     return total
+
+
+def expected_cut_from_marginals(
+    couplings: dict[tuple[int, int], int],
+    circuit: Circuit,
+    sim=None,
+) -> float:
+    """Exact ``E[cut]`` from two-qubit windowed marginals, one pass.
+
+    Each edge ``(i, j)`` only needs ``P(b_i != b_j)``, and
+    :meth:`~repro.core.supersim.SuperSim.marginal_probabilities`
+    reconstructs every edge's two-qubit marginal from a *single*
+    fragment-evaluation pass — unlike
+    :func:`expected_cut_from_correlations`, which re-runs the pipeline
+    per edge.  Cost scales with edges x 4-entry windows, never
+    ``2**n``, so this is the QAOA scorer for wide cut circuits.
+    """
+    if sim is None:
+        from repro.core.supersim import SuperSim
+
+        sim = SuperSim()
+    edges = list(couplings.items())
+    marginals = sim.marginal_probabilities(
+        circuit, [(i, j) for (i, j), _w in edges]
+    )
+    total = 0.0
+    for ((_i, _j), w), dist in zip(edges, marginals):
+        total += w * (dist[0b01] + dist[0b10])
+    return total
+
+
+def expected_cut_from_samples(
+    couplings: dict[tuple[int, int], int],
+    bit_batches,
+    n_qubits: int,
+) -> float:
+    """Streaming ``E[cut]`` over batches of sampled outcome bits.
+
+    ``bit_batches`` yields ``(shots, n_qubits)`` bool matrices (chunks of
+    a sampler's output, per-variant shot matrices, ...).  Batches fold
+    into per-edge two-bit marginals via
+    :class:`repro.analysis.StreamingAccumulator`, so memory stays at four
+    floats per edge regardless of total shots or width.
+    """
+    from repro.analysis import StreamingAccumulator
+
+    edges = list(couplings.items())
+    accumulator = StreamingAccumulator(
+        n_qubits, marginals=[(i, j) for (i, j), _w in edges]
+    )
+    for batch in bit_batches:
+        accumulator.update(bits=batch)
+    total = 0.0
+    for (i, j), w in edges:
+        marginal = accumulator.marginal((i, j))
+        total += w * (marginal[0b01] + marginal[0b10])
+    return total

@@ -26,10 +26,16 @@ routing half of 2 without simulating anything, returning a frozen
 Configuration travels in the typed objects of :mod:`repro.core.config`.
 """
 
-from repro.core.config import CutConfig, ExecutionConfig, SamplingConfig
+from repro.core.config import (
+    CutConfig,
+    ExecutionConfig,
+    ReconstructionConfig,
+    SamplingConfig,
+)
 from repro.core.cutter import Cut, CutStrategy, cut_circuit, find_cuts, plan_cuts
 from repro.core.fragments import CutCircuit, Fragment
 from repro.core.plan import CostEstimate, ExecutionPlan, FragmentPlan, SweepResult
+from repro.core.reconstruction import ReconstructionMemoryError
 from repro.core.supersim import SuperSim, SuperSimResult
 
 __all__ = [
@@ -38,6 +44,8 @@ __all__ = [
     "CutConfig",
     "SamplingConfig",
     "ExecutionConfig",
+    "ReconstructionConfig",
+    "ReconstructionMemoryError",
     "find_cuts",
     "plan_cuts",
     "cut_circuit",

@@ -10,7 +10,10 @@ concerns explicitly and travel together through the pipeline:
   statistically (exact vs shots, Clifford shot rebalancing, tomography
   projection, noise, seeding);
 * :class:`ExecutionConfig` — where and how the work runs (forced backend,
-  router, variant cache, worker pool, reconstruction pruning).
+  router, variant cache, worker pool, reconstruction pruning);
+* :class:`ReconstructionConfig` — how fragment tensors recombine into the
+  output distribution (dense vs windowed vs recursive dynamic-definition,
+  the qubit window size and top-k beam of the bounded-memory engines).
 
 All three are immutable; derive variations with :func:`dataclasses.replace`
 (re-exported as each config's ``replace`` method)::
@@ -156,6 +159,70 @@ class ExecutionConfig(_Replaceable):
             )
         if self.parallel < 1:
             raise ValueError("parallel must be at least 1")
+
+
+@dataclass(frozen=True)
+class ReconstructionConfig(_Replaceable):
+    """How fragment tensors recombine into the output distribution.
+
+    Parameters
+    ----------
+    mode:
+        ``"full"`` — the dense ``2**width`` contraction (exact, fails on
+        wide outputs); ``"windowed"`` — reconstruct only the exact
+        marginal over ``window`` (default: the first ``qubit_limit`` kept
+        qubits); ``"recursive"`` — CutQC-style dynamic definition: a
+        calibrated top-k distribution at ``O(4^k · 2**qubit_limit)``
+        memory, any width; ``"auto"`` (default) — ``"full"`` while the
+        output fits ``max_dense_bits``, ``"recursive"`` beyond.
+    qubit_limit:
+        Window width of the bounded-memory engines — the hard memory
+        knob: no dense object larger than ``2**qubit_limit`` entries is
+        allocated in windowed/recursive modes.
+    top_k:
+        Bins refined per recursion level (and the maximum support of a
+        recursive result).
+    recursion_depth:
+        Cap on recursion levels; ``None`` defines every kept qubit.  A
+        smaller cap returns a coarse distribution over the first
+        ``recursion_depth * qubit_limit`` kept qubits.
+    refine_threshold:
+        Only bins with joint probability strictly above this are refined
+        into the next level (0.0 prunes exact zeros and negative
+        quasi-probability noise).
+    window:
+        Explicit qubit window for ``mode="windowed"`` (original qubit
+        indices, output bit order).
+    max_dense_bits:
+        Output-width guard: dense reconstruction beyond this raises
+        :class:`~repro.core.reconstruction.ReconstructionMemoryError`,
+        and ``mode="auto"`` switches to recursive above it.
+    """
+
+    mode: str = "auto"
+    qubit_limit: int = 16
+    top_k: int = 64
+    recursion_depth: int | None = None
+    refine_threshold: float = 0.0
+    window: tuple[int, ...] | None = None
+    max_dense_bits: int = 26
+
+    def __post_init__(self):
+        if self.mode not in ("auto", "full", "windowed", "recursive"):
+            raise ValueError(
+                "mode must be 'auto', 'full', 'windowed' or 'recursive', "
+                f"got {self.mode!r}"
+            )
+        if not 1 <= self.qubit_limit <= 26:
+            raise ValueError("qubit_limit must be between 1 and 26")
+        if self.top_k < 1:
+            raise ValueError("top_k must be at least 1")
+        if self.recursion_depth is not None and self.recursion_depth < 1:
+            raise ValueError("recursion_depth must be at least 1 or None")
+        if self.max_dense_bits < 1:
+            raise ValueError("max_dense_bits must be at least 1")
+        if self.window is not None:
+            object.__setattr__(self, "window", tuple(int(q) for q in self.window))
 
 
 #: legacy SuperSim kwarg -> (config attribute name, target config)

@@ -56,9 +56,13 @@ class CostEstimate:
     """A zero-simulation dry run of a plan.
 
     ``total_cost`` is the sum of scored per-variant backend costs times
-    variant counts; with a calibrated router
-    (``BackendRouter(cost_scales=measure_cost_scales(...))``) its units
-    are approximately wall-clock seconds on this machine.
+    variant counts, **plus** ``reconstruction_cost``; with a calibrated
+    router (``BackendRouter(cost_scales=measure_cost_scales(...))``) its
+    units are approximately wall-clock seconds on this machine.
+    ``reconstruction_cost`` charges the recombination stage by output
+    width — ``min(4^k · 2**width, recursive window cost)``, matching the
+    engine ``execute()`` would actually pick — so quotes for wide
+    circuits no longer pretend the ``2**width`` accumulator is free.
     ``cached_variants`` counts the unique variant jobs the shared cache
     would satisfy without simulating (``None`` when prediction is not
     possible, e.g. no cache attached).
@@ -72,6 +76,7 @@ class CostEstimate:
     num_cuts: int
     reconstruction_terms: int
     calibrated: bool
+    reconstruction_cost: float = 0.0
 
     @property
     def backends(self) -> dict[str, int]:

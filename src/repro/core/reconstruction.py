@@ -24,6 +24,22 @@ is (near) zero — guaranteed for many Pauli observables of stabilizer
 states — are detected fragment-wise, counted via a cheap indicator
 contraction (that count is what drives the einsum/loop choice), and near-
 zero accumulator entries are dropped before the distribution is built.
+
+Output width is its own scale axis, independent of fragment width: the
+dense accumulator holds ``2**total_bits`` floats, so anything past ~30
+kept bits is unservable no matter how fast the contraction is.  Two
+bounded-memory engines lift that ceiling (CutQC-style "dynamic
+definition"):
+
+* :func:`reconstruct_marginal` — the *windowed* contraction: the exact
+  marginal over any small subset of the kept qubits, obtained by summing
+  each fragment tensor over its traced-out kept bits *before* the cut-axis
+  contraction, so no ``2**total_bits`` object ever exists;
+* :func:`reconstruct_dynamic` — the *recursive* driver: reconstruct a
+  coarse distribution over the first ``qubit_limit`` qubits, recurse only
+  into the heaviest bins (conditioning the fragment tensors on the bits
+  defined so far), and return a calibrated top-k :class:`Distribution`
+  whose peak memory is ``O(4^k · 2^qubit_limit)`` at any output width.
 """
 
 from __future__ import annotations
@@ -48,11 +64,65 @@ _LOOP_SPARSITY = 16
 # not at surviving-terms x per-term support)
 _SPARSE_COMPACT_FLOOR = 1 << 21
 
+#: widest output the dense accumulator may allocate by default
+#: (2^26 float64 ≈ 0.5 GB); callers opt out with ``max_dense_bits=None``
+DEFAULT_MAX_DENSE_BITS = 26
+
+#: rough seconds per accumulator-entry update of the recombination —
+#: only used to rank dense vs recursive cost in estimates, so the
+#: absolute scale matters less than both modes sharing it
+_SECONDS_PER_TERM_ENTRY = 2e-9
+
+
+class ReconstructionMemoryError(MemoryError):
+    """Dense reconstruction refused: the output accumulator would not fit.
+
+    Raised *before* allocation, naming the width and the escape hatches,
+    instead of letting ``np.zeros(2**total_bits)`` die with an opaque
+    ``MemoryError`` (or freeze the machine in swap).
+    """
+
+
+def check_dense_width(total_bits: int, max_dense_bits: int | None) -> None:
+    """Raise :class:`ReconstructionMemoryError` for unservable dense widths.
+
+    Shared by :func:`reconstruct_distribution` and the execute pipeline —
+    the pipeline checks *before* tomography, because the per-fragment
+    dense tensors (``2**kept_bits`` per variant) blow up first on wide
+    fragments, long before the final accumulator would.
+    """
+    if max_dense_bits is not None and total_bits > max_dense_bits:
+        raise ReconstructionMemoryError(
+            f"dense reconstruction over {total_bits} kept bits needs a "
+            f"2**{total_bits}-entry accumulator (limit: {max_dense_bits} "
+            "bits); use ReconstructionConfig(mode='recursive', "
+            "qubit_limit=...) for a bounded-memory top-k reconstruction, "
+            "reconstruct_marginal for exact small marginals, or raise "
+            "max_dense_bits explicitly if you really have the memory"
+        )
+
 
 @dataclass
 class ReconstructionStats:
+    """Diagnostics of one reconstruction.
+
+    The windowed/recursive engines extend the dense counters: ``mode`` is
+    the engine that ran, ``windows`` counts window contractions (one per
+    refined bin), ``refinements`` the contractions beyond the coarse top
+    window, ``peak_window_entries`` the largest dense accumulator any
+    single contraction allocated (the memory bound: ``2**qubit_limit``,
+    never ``2**total_bits``), and ``covered_probability`` the total mass
+    of the returned outcomes (1.0 for exact full reconstructions; below
+    1.0 when recursive top-k truncation dropped light bins).
+    """
+
     terms_total: int = 0
     terms_skipped: int = 0
+    mode: str = "full"
+    windows: int = 0
+    refinements: int = 0
+    peak_window_entries: int = 0
+    covered_probability: float = 1.0
 
 
 def _axis_cuts(fragments) -> list[list[int]]:
@@ -145,6 +215,7 @@ def reconstruct_distribution(
     prune_zeros: bool = True,
     zero_threshold: float = 1e-12,
     method: str = "auto",
+    max_dense_bits: int | None = DEFAULT_MAX_DENSE_BITS,
 ) -> tuple[Distribution, ReconstructionStats]:
     """Recombine fragment tensors into the distribution over ``keep_qubits``.
 
@@ -156,6 +227,11 @@ def reconstruct_distribution(
     contraction), ``"loop"`` (legacy ``4^k`` assignment loop), or
     ``"auto"`` (einsum unless zero-pruning leaves under ``1/16`` of the
     terms alive, where the loop wins).
+
+    ``max_dense_bits`` guards the ``2**total_bits`` accumulator: wider
+    requests raise :class:`ReconstructionMemoryError` up front instead of
+    dying in allocation.  Pass ``None`` to disable (the bounded-memory
+    engines do, their windows being small by construction).
     """
     if method not in ("auto", "einsum", "loop"):
         raise ValueError(f"unknown reconstruction method {method!r}")
@@ -167,6 +243,9 @@ def reconstruct_distribution(
     axis_cuts = _axis_cuts(fragments)
     kept_sizes = [len(kl) for kl in kept_locals]
     total_bits = sum(kept_sizes)
+    check_dense_width(total_bits, max_dense_bits)
+    stats.windows = 1
+    stats.peak_window_entries = 2**total_bits
 
     masks = None
     survivors = total_terms
@@ -369,3 +448,234 @@ def reconstruct_sparse_distribution(
         m, unique_keys[live], sums[live], assume_sorted=True
     )
     return distribution, stats
+
+
+# -- bounded-memory engines (dynamic definition) ----------------------------
+
+
+def _reduce_window_tensors(
+    cut_circuit: CutCircuit,
+    tensors: list[np.ndarray],
+    kept_locals: list[list[int]],
+    window: list[int],
+    fixed: dict[int, int],
+) -> tuple[list[np.ndarray], list[list[int]]]:
+    """Per-fragment tensors marginalised onto ``window`` (``fixed`` pinned).
+
+    The kept output bits partition across fragments, so marginalising the
+    reconstructed distribution commutes with reducing each fragment tensor
+    independently: traced-out kept bits are summed, ``fixed`` bits are
+    sliced, and only the window bits survive on the last axis.  The
+    subsequent cut-axis contraction then never sees more than
+    ``2**len(window)`` output entries.
+    """
+    window_set = set(window)
+    new_tensors: list[np.ndarray] = []
+    new_kept: list[list[int]] = []
+    for fragment, kept, tensor in zip(
+        cut_circuit.fragments, kept_locals, tensors
+    ):
+        local_to_orig = {lq: oq for oq, lq in fragment.circuit_outputs}
+        orig = [local_to_orig[lq] for lq in kept]
+        m = len(kept)
+        head = tensor.shape[:-1]
+        t = tensor.reshape(head + (2,) * m)
+        base = len(head)
+        # reduce from the last bit axis backward so earlier axis indices
+        # stay valid as axes disappear
+        for j in range(m - 1, -1, -1):
+            q = orig[j]
+            if q in window_set:
+                continue
+            if q in fixed:
+                t = np.take(t, int(fixed[q]), axis=base + j)
+            else:
+                t = t.sum(axis=base + j)
+        survivors = [j for j in range(m) if orig[j] in window_set]
+        t = t.reshape(head + (2 ** len(survivors),))
+        new_tensors.append(np.ascontiguousarray(t))
+        new_kept.append([kept[j] for j in survivors])
+    return new_tensors, new_kept
+
+
+def reconstruct_marginal(
+    cut_circuit: CutCircuit,
+    tensors: list[np.ndarray],
+    kept_locals: list[list[int]],
+    window: list[int],
+    fixed: dict[int, int] | None = None,
+    prune_zeros: bool = True,
+    zero_threshold: float = 1e-12,
+    method: str = "auto",
+) -> tuple[Distribution, ReconstructionStats]:
+    """Exact marginal over ``window`` without the full accumulator.
+
+    ``tensors`` / ``kept_locals`` are the usual full fragment tensors (as
+    fed to :func:`reconstruct_distribution`); ``window`` lists the kept
+    qubits (original indices, output bit order) to marginalise onto, and
+    ``fixed`` optionally pins other kept qubits to bit values — the
+    returned values are then joint probabilities ``P(fixed, window)``,
+    which is what the recursive driver conditions on.  Traced-out bins
+    are summed fragment-side before the contraction, so peak memory is
+    ``O(4^k · 2**len(window))`` regardless of the total kept width.
+    """
+    window = [int(q) for q in window]
+    fixed = {int(q): int(b) for q, b in (fixed or {}).items()}
+    if not window:
+        raise ValueError("window must name at least one kept qubit")
+    if len(set(window)) != len(window):
+        raise ValueError("window contains duplicate qubits")
+    overlap = set(window) & set(fixed)
+    if overlap:
+        raise ValueError(f"window and fixed qubits overlap: {sorted(overlap)}")
+    covered: set[int] = set()
+    for fragment, kept in zip(cut_circuit.fragments, kept_locals):
+        local_to_orig = {lq: oq for oq, lq in fragment.circuit_outputs}
+        covered.update(local_to_orig[lq] for lq in kept)
+    missing = (set(window) | set(fixed)) - covered
+    if missing:
+        raise ValueError(
+            f"window/fixed qubits not among kept outputs: {sorted(missing)}"
+        )
+    reduced, reduced_kept = _reduce_window_tensors(
+        cut_circuit, tensors, kept_locals, window, fixed
+    )
+    distribution, stats = reconstruct_distribution(
+        cut_circuit,
+        reduced,
+        reduced_kept,
+        window,
+        prune_zeros=prune_zeros,
+        zero_threshold=zero_threshold,
+        method=method,
+        max_dense_bits=None,
+    )
+    stats.mode = "windowed"
+    return distribution, stats
+
+
+def reconstruct_dynamic(
+    cut_circuit: CutCircuit,
+    tensor_builder,
+    keep_qubits: list[int],
+    *,
+    qubit_limit: int = 16,
+    top_k: int = 64,
+    recursion_depth: int | None = None,
+    refine_threshold: float = 0.0,
+    prune_zeros: bool = True,
+    zero_threshold: float = 1e-12,
+) -> tuple[Distribution, ReconstructionStats]:
+    """Recursive dynamic-definition reconstruction (CutQC-style).
+
+    ``keep_qubits`` is split into consecutive windows of at most
+    ``qubit_limit`` qubits.  The first window's distribution is
+    reconstructed coarsely (all other qubits merged — i.e. marginalised);
+    each bin with probability above ``refine_threshold`` is then refined
+    by reconstructing the next window *conditioned* on the bin's bits,
+    keeping at most ``top_k`` bins per level.  Every per-bin value is the
+    exact joint probability of the bits defined so far, so the final
+    outcomes are calibrated — no renormalisation hides the truncated
+    mass, which ``stats.covered_probability`` reports.
+
+    ``tensor_builder(window, fixed)`` must return ``(tensors,
+    kept_locals)`` for the given window of original qubits with the
+    ``{original_qubit: bit}`` assignments in ``fixed`` pinned — see
+    :meth:`SuperSim.marginal_probabilities`'s builder.  Building tensors
+    per (window, bin) keeps tomography memory bounded by the fragment
+    supports rather than ``2**total_bits``.
+
+    ``recursion_depth`` caps the number of window levels; when it stops
+    short of the full width the result is a (coarse) distribution over
+    the first ``recursion_depth * qubit_limit`` kept qubits only.
+    """
+    keep = [int(q) for q in keep_qubits]
+    if len(set(keep)) != len(keep):
+        raise ValueError("keep_qubits contains duplicates")
+    if not keep:
+        raise ValueError("keep_qubits must not be empty")
+    if qubit_limit < 1:
+        raise ValueError("qubit_limit must be at least 1")
+    if top_k < 1:
+        raise ValueError("top_k must be at least 1")
+    windows = [keep[i : i + qubit_limit] for i in range(0, len(keep), qubit_limit)]
+    if recursion_depth is not None:
+        if recursion_depth < 1:
+            raise ValueError("recursion_depth must be at least 1 or None")
+        windows = windows[:recursion_depth]
+    defined = [q for w in windows for q in w]
+
+    k = cut_circuit.num_cuts
+    stats = ReconstructionStats(terms_total=4**k, mode="recursive")
+    # frontier bins: (prefix_key over defined-so-far bits, fixed bit
+    # assignments, exact joint probability of the bin)
+    frontier: list[tuple[int, dict[int, int], float]] = [(0, {}, 1.0)]
+    for level, window in enumerate(windows):
+        final = level == len(windows) - 1
+        width = len(window)
+        candidates: list[tuple[int, dict[int, int], float]] = []
+        for prefix, fixed, _prob in frontier:
+            tensors, kept_locals = tensor_builder(window, fixed)
+            dist, sub = reconstruct_distribution(
+                cut_circuit,
+                tensors,
+                kept_locals,
+                window,
+                prune_zeros=prune_zeros,
+                zero_threshold=zero_threshold,
+                max_dense_bits=None,
+            )
+            stats.windows += 1
+            stats.terms_skipped = max(stats.terms_skipped, sub.terms_skipped)
+            stats.peak_window_entries = max(stats.peak_window_entries, 2**width)
+            for key, prob in zip(dist.key_ints(), dist.values_array.tolist()):
+                if not final and prob <= refine_threshold:
+                    continue
+                new_fixed = dict(fixed)
+                for j, q in enumerate(window):
+                    new_fixed[q] = (key >> (width - 1 - j)) & 1
+                candidates.append(((prefix << width) | key, new_fixed, prob))
+        # heaviest bins first; ties broken by outcome key so seeded runs
+        # are bit-for-bit reproducible at any parallelism
+        candidates.sort(key=lambda c: (-c[2], c[0]))
+        frontier = candidates[:top_k]
+        if not frontier:
+            break
+    stats.refinements = max(stats.windows - 1, 0)
+
+    probs = {prefix: prob for prefix, _fixed, prob in frontier}
+    stats.covered_probability = float(sum(probs.values()))
+    return Distribution(len(defined), probs), stats
+
+
+def estimate_reconstruction_cost(
+    num_cuts: int,
+    total_bits: int,
+    *,
+    qubit_limit: int = 16,
+    top_k: int = 64,
+    mode: str = "auto",
+) -> float:
+    """Predicted seconds of the recombination stage (output-width aware).
+
+    Dense work is ``4^k · 2**total_bits`` accumulator updates; recursive
+    work is one coarse window plus up to ``top_k`` refinements per
+    remaining level at ``4^k · 2**qubit_limit`` each.  ``"auto"`` charges
+    the cheaper of the two — the same choice ``execute()`` makes — so
+    ``ExecutionPlan.estimate()`` stays honest for wide circuits instead
+    of silently quoting an impossible dense pass.
+    """
+    terms = 4.0**num_cuts
+    window_bits = min(qubit_limit, total_bits)
+    dense = terms * 2.0**total_bits
+    levels = max(1, -(-total_bits // qubit_limit))
+    recursive = (1 + (levels - 1) * top_k) * terms * 2.0**window_bits
+    if mode == "full":
+        units = dense
+    elif mode == "windowed":
+        units = terms * 2.0**window_bits
+    elif mode == "recursive":
+        units = recursive
+    else:
+        units = min(dense, recursive)
+    return units * _SECONDS_PER_TERM_ENTRY

@@ -53,6 +53,7 @@ from repro.circuits.circuit import Circuit
 from repro.core.config import (
     CutConfig,
     ExecutionConfig,
+    ReconstructionConfig,
     SamplingConfig,
     configs_from_legacy_kwargs,
 )
@@ -60,8 +61,17 @@ from repro.core.cutter import plan_cuts
 from repro.core.evaluator import FragmentEvaluator
 from repro.core.fragments import Cut, CutCircuit
 from repro.core.plan import CostEstimate, ExecutionPlan, FragmentPlan, SweepResult
-from repro.core.reconstruction import ReconstructionStats, reconstruct_distribution
-from repro.core.tomography import build_fragment_tensor
+from repro.core.reconstruction import (
+    ReconstructionStats,
+    check_dense_width,
+    estimate_reconstruction_cost,
+    reconstruct_distribution,
+    reconstruct_dynamic,
+)
+from repro.core.tomography import (
+    build_conditioned_fragment_tensor,
+    build_fragment_tensor,
+)
 
 #: the four pipeline stages always present in SuperSimResult.timings
 STAGES = ("cut", "evaluate", "tomography", "reconstruct")
@@ -111,6 +121,28 @@ class SuperSimResult:
     def num_variants(self) -> int:
         return sum(f.num_variants for f in self.cut_circuit.fragments)
 
+    # -- reconstruction-engine diagnostics (see ReconstructionStats) ---------
+
+    @property
+    def reconstruction_mode(self) -> str:
+        """Which engine reconstructed: ``full``, ``windowed`` or ``recursive``."""
+        return self.stats.mode
+
+    @property
+    def reconstruction_windows(self) -> int:
+        """Window contractions run (1 for full/windowed, per-bin for recursive)."""
+        return self.stats.windows
+
+    @property
+    def reconstruction_refinements(self) -> int:
+        """Recursive bin refinements beyond the coarse top window."""
+        return self.stats.refinements
+
+    @property
+    def covered_probability(self) -> float:
+        """Total mass of the returned outcomes (< 1.0 when top-k truncated)."""
+        return self.stats.covered_probability
+
 
 def _call_factory(factory, params):
     """Apply one sweep grid point to a circuit factory."""
@@ -136,6 +168,14 @@ class SuperSim:
     execution:
         An :class:`~repro.core.config.ExecutionConfig` — forced backend,
         router, variant cache, worker pool, reconstruction pruning.
+    reconstruction:
+        A :class:`~repro.core.config.ReconstructionConfig` — how fragment
+        tensors recombine: dense (``"full"``), exact small marginals
+        (``"windowed"``), or bounded-memory recursive dynamic definition
+        (``"recursive"``).  The default ``"auto"`` runs dense while the
+        output width fits ``max_dense_bits`` and switches to recursive
+        beyond, so wide circuits return top-k answers instead of dying in
+        a ``2**width`` allocation.
     **legacy_kwargs:
         The pre-pipeline flat kwargs (``shots=``, ``backend=``, ``rng=``,
         ...) are still accepted and mapped onto the configs; using any of
@@ -150,11 +190,18 @@ class SuperSim:
         cut: CutConfig | None = None,
         sampling: SamplingConfig | None = None,
         execution: ExecutionConfig | None = None,
+        reconstruction: ReconstructionConfig | None = None,
         **legacy_kwargs,
     ):
         cut, sampling, execution, legacy_used = configs_from_legacy_kwargs(
             legacy_kwargs, cut=cut, sampling=sampling, execution=execution
         )
+        if reconstruction is None:
+            reconstruction = ReconstructionConfig()
+        elif not isinstance(reconstruction, ReconstructionConfig):
+            raise TypeError(
+                f"expected a ReconstructionConfig instance, got {reconstruction!r}"
+            )
         if legacy_used:
             warnings.warn(
                 f"SuperSim({', '.join(f'{k}=' for k in legacy_used)}) uses "
@@ -166,6 +213,7 @@ class SuperSim:
         self.cut_config = cut
         self.sampling = sampling
         self.execution = execution
+        self.reconstruction = reconstruction
         self.variant_cache: VariantCache | None = resolve_cache(execution.cache)
         #: executor shared across batch points while a sweep is active
         self._batch_executor = None
@@ -337,21 +385,95 @@ class SuperSim:
                 )
             )
         stats = evaluator.dry_run(plan.cut_circuit.fragments)
+        rc = self.reconstruction
+        reconstruction_cost = estimate_reconstruction_cost(
+            plan.num_cuts,
+            len(plan.keep_qubits),
+            qubit_limit=rc.qubit_limit,
+            top_k=rc.top_k,
+            mode=rc.mode,
+        )
         return CostEstimate(
             fragments=tuple(fragment_plans),
-            total_cost=total,
+            total_cost=total + reconstruction_cost,
             num_variants=stats["jobs"],
             unique_variants=stats["unique_jobs"],
             cached_variants=stats["cached_jobs"],
             num_cuts=plan.num_cuts,
             reconstruction_terms=plan.cut_circuit.reconstruction_terms,
             calibrated=bool(router.cost_scales),
+            reconstruction_cost=reconstruction_cost,
         )
 
     # -- execute stage ---------------------------------------------------------
 
+    def _resolve_reconstruction_mode(self, keep_qubits) -> str:
+        """The engine ``execute()`` will run for this output width."""
+        mode = self.reconstruction.mode
+        if mode == "auto":
+            wide = len(keep_qubits) > self.reconstruction.max_dense_bits
+            return "recursive" if wide else "full"
+        return mode
+
+    def _dynamic_tensor_builder(self, cc: CutCircuit, fragment_data):
+        """The (window, fixed) -> (tensors, kept_locals) callback of
+        :func:`~repro.core.reconstruction.reconstruct_dynamic`.
+
+        Tensors are built per window/bin from the already-evaluated
+        fragment data — never over all kept bits at once, so tomography
+        memory follows the window, not the circuit width.  Bins at the
+        same level share conditioned tensors for every fragment whose
+        fixed bits agree, so results are memoised per
+        ``(fragment, window, fixed)``.
+        """
+        project = self.sampling.tomography and self.sampling.shots is not None
+        snap = self.sampling.snap_clifford
+        memo: dict[tuple, np.ndarray] = {}
+
+        def build(window, fixed):
+            window_set = set(window)
+            tensors = []
+            kept_locals = []
+            for fragment, data in zip(cc.fragments, fragment_data):
+                kept = [lq for oq, lq in fragment.circuit_outputs if oq in window_set]
+                fixed_locals = {
+                    lq: fixed[oq]
+                    for oq, lq in fragment.circuit_outputs
+                    if oq in fixed
+                }
+                key = (
+                    fragment.index,
+                    tuple(kept),
+                    tuple(sorted(fixed_locals.items())),
+                )
+                tensor = memo.get(key)
+                if tensor is None:
+                    if fixed_locals:
+                        tensor = build_conditioned_fragment_tensor(
+                            data, kept, fixed_locals, snap_clifford=snap
+                        )
+                    else:
+                        tensor = build_fragment_tensor(
+                            data, kept, snap_clifford=snap, project=project
+                        )
+                    memo[key] = tensor
+                tensors.append(tensor)
+                kept_locals.append(kept)
+            return tensors, kept_locals
+
+        return build
+
     def _execute_plan(self, plan: ExecutionPlan) -> SuperSimResult:
-        """Stages 2–4: evaluate variants, build tensors, reconstruct."""
+        """Stages 2–4: evaluate variants, build tensors, reconstruct.
+
+        The reconstruction engine follows ``self.reconstruction`` (see
+        :class:`~repro.core.config.ReconstructionConfig`): dense full
+        reconstruction under ``max_dense_bits``, the windowed exact
+        marginal, or the recursive dynamic-definition driver for wide
+        outputs.  In recursive mode tomography happens per window/bin
+        inside the reconstruct stage (conditioned tensors cannot be built
+        up front), so ``timings["tomography"]`` reads 0.0 there.
+        """
         cc = plan.cut_circuit
         timings: dict[str, float] = {"cut": plan.planning_seconds}
         assignments = {f.index: b for f, b in zip(cc.fragments, plan._backends)}
@@ -364,8 +486,62 @@ class SuperSim:
         timings["cache_misses"] = float(evaluator.last_stats.get("cache_misses", 0))
         backend_usage = dict(evaluator.last_stats.get("backends", {}))
 
+        rc = self.reconstruction
+        mode = self._resolve_reconstruction_mode(plan.keep_qubits)
+
+        if mode == "recursive":
+            timings["tomography"] = 0.0
+            start = time.perf_counter()
+            builder = self._dynamic_tensor_builder(cc, fragment_data)
+            raw, stats = reconstruct_dynamic(
+                cc,
+                builder,
+                list(plan.keep_qubits),
+                qubit_limit=rc.qubit_limit,
+                top_k=rc.top_k,
+                recursion_depth=rc.recursion_depth,
+                refine_threshold=rc.refine_threshold,
+                prune_zeros=self.execution.prune_zeros,
+            )
+            timings["reconstruct"] = time.perf_counter() - start
+            # calibrated top-k: drop negative quasi-probability noise but
+            # do NOT renormalise — the missing mass is real information
+            # (stats.covered_probability reports it)
+            positive = raw.values_array > 0
+            cleaned = Distribution.from_arrays(
+                raw.n_bits,
+                raw.keys_array[positive],
+                raw.values_array[positive],
+                assume_sorted=True,
+            )
+            return SuperSimResult(
+                distribution=cleaned,
+                cut_circuit=cc,
+                stats=stats,
+                timings=timings,
+                raw_distribution=raw,
+                backend_usage=backend_usage,
+            )
+
+        if mode == "windowed":
+            window = rc.window
+            if window is None:
+                window = tuple(plan.keep_qubits[: rc.qubit_limit])
+            unknown = [q for q in window if q not in set(plan.keep_qubits)]
+            if unknown:
+                raise ValueError(
+                    f"window qubits {unknown} are not in keep_qubits"
+                )
+            target_qubits = list(window)
+        else:
+            # guard BEFORE tomography: on wide circuits the per-fragment
+            # dense tensors (2**kept_bits per variant) blow up first,
+            # long before the final accumulator would
+            check_dense_width(len(plan.keep_qubits), rc.max_dense_bits)
+            target_qubits = list(plan.keep_qubits)
+
         start = time.perf_counter()
-        keep_set = set(plan.keep_qubits)
+        keep_set = set(target_qubits)
         kept_locals: list[list[int]] = []
         for fragment in cc.fragments:
             kept_locals.append(
@@ -387,9 +563,12 @@ class SuperSim:
             cc,
             tensors,
             kept_locals,
-            list(plan.keep_qubits),
+            target_qubits,
             prune_zeros=self.execution.prune_zeros,
+            max_dense_bits=rc.max_dense_bits,
         )
+        if mode == "windowed":
+            stats.mode = "windowed"
         timings["reconstruct"] = time.perf_counter() - start
 
         cleaned = raw.clipped() if len(raw) else raw
@@ -575,38 +754,67 @@ class SuperSim:
         )
         return dist.clipped() if len(dist) else dist
 
+    def marginal_probabilities(
+        self,
+        circuit: Circuit,
+        windows,
+        cuts: list[Cut] | None = None,
+    ) -> list[Distribution]:
+        """Exact marginals over several qubit windows, one evaluation pass.
+
+        ``windows`` is an iterable of qubit-index sequences (each defines
+        the bit order of its marginal).  Fragments are evaluated once;
+        each window gets its own narrow tomography + contraction — the
+        windowed engine — so no object larger than ``4^k · 2**len(window)``
+        is built at *any* circuit width.  This is the primitive QAOA edge
+        scoring and per-qubit readout ride on.
+        """
+        windows = [list(w) for w in windows]
+        for window in windows:
+            if not window:
+                raise ValueError("empty marginal window")
+        cc = self.cut(circuit, cuts)
+        evaluator = self._evaluator()
+        fragment_data = evaluator.evaluate_all(cc.fragments)
+        project = self.sampling.tomography and self.sampling.shots is not None
+        out: list[Distribution] = []
+        for window in windows:
+            keep_set = set(window)
+            kept_locals = [
+                [lq for oq, lq in fragment.circuit_outputs if oq in keep_set]
+                for fragment in cc.fragments
+            ]
+            tensors = [
+                build_fragment_tensor(
+                    data,
+                    kept,
+                    snap_clifford=self.sampling.snap_clifford,
+                    project=project,
+                )
+                for data, kept in zip(fragment_data, kept_locals)
+            ]
+            dist, _ = reconstruct_distribution(
+                cc,
+                tensors,
+                kept_locals,
+                window,
+                prune_zeros=self.execution.prune_zeros,
+            )
+            out.append(dist.clipped() if len(dist) else dist)
+        return out
+
     def single_qubit_marginals(self, circuit: Circuit) -> np.ndarray:
         """Exact per-qubit marginals at any width (the 300-qubit mode).
 
         Fragments are evaluated once; each qubit's marginal is a separate
         cheap reconstruction, so no ``2^n`` object is ever built.
         """
-        cc = self.cut(circuit)
-        evaluator = self._evaluator()
-        fragment_data = evaluator.evaluate_all(cc.fragments)
         qubits = list(circuit.measured_qubits)
         out = np.zeros((len(qubits), 2))
-        for row, qubit in enumerate(qubits):
-            kept_locals = []
-            for fragment in cc.fragments:
-                kept_locals.append(
-                    [lq for oq, lq in fragment.circuit_outputs if oq == qubit]
-                )
-            tensors = [
-                build_fragment_tensor(
-                    data, kept, snap_clifford=self.sampling.snap_clifford,
-                    project=self.sampling.tomography
-                    and self.sampling.shots is not None,
-                )
-                for data, kept in zip(fragment_data, kept_locals)
-            ]
-            dist, _ = reconstruct_distribution(
-                cc, tensors, kept_locals, [qubit],
-                prune_zeros=self.execution.prune_zeros,
-            )
-            marginal = dist.clipped()
-            out[row, 0] = marginal[0]
-            out[row, 1] = marginal[1]
+        marginals = self.marginal_probabilities(circuit, [[q] for q in qubits])
+        for row, dist in enumerate(marginals):
+            out[row, 0] = dist[0]
+            out[row, 1] = dist[1]
         return out
 
     def expectation(self, circuit: Circuit, pauli) -> float:

@@ -98,6 +98,24 @@ def _signed_vectors(
     return vec, weight
 
 
+def _snap_vector(vec: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """Vectorised {-1, 0, +1} snapping of conditional expectations."""
+    with np.errstate(invalid="ignore", divide="ignore"):
+        ratio = np.where(weight > 0, vec / np.maximum(weight, 1e-300), 0.0)
+    return weight * np.where(ratio > 0.5, 1.0, np.where(ratio < -0.5, -1.0, 0.0))
+
+
+def _contract_prep_axes(raw: np.ndarray, qi: int) -> np.ndarray:
+    """Contract each prep axis with the Pauli-over-preparation coefficients."""
+    tensor = raw
+    for axis in range(qi):
+        tensor = np.tensordot(PREP_COEFFICIENTS, tensor, axes=([1], [axis]))
+        # tensordot moved the new Pauli axis to the front; rotate it back
+        order = list(range(1, axis + 1)) + [0] + list(range(axis + 1, tensor.ndim))
+        tensor = np.transpose(tensor, order)
+    return tensor
+
+
 def build_fragment_tensor(
     data: FragmentData,
     keep_locals: list[int],
@@ -144,23 +162,122 @@ def build_fragment_tensor(
                     vec[x_key] += prob * sign
                     weight[x_key] += prob
             if snap and signs_mask:
-                with np.errstate(invalid="ignore", divide="ignore"):
-                    ratio = np.where(weight > 0, vec / np.maximum(weight, 1e-300), 0.0)
-                vec = weight * np.where(
-                    ratio > 0.5, 1.0, np.where(ratio < -0.5, -1.0, 0.0)
-                )
+                vec = _snap_vector(vec, weight)
             raw[preps + pauli_out] = vec
 
-    # contract each prep axis with the Pauli-over-preparation coefficients
-    tensor = raw
-    for axis in range(qi):
-        tensor = np.tensordot(PREP_COEFFICIENTS, tensor, axes=([1], [axis]))
-        # tensordot moved the new Pauli axis to the front; rotate it back
-        order = list(range(1, axis + 1)) + [0] + list(range(axis + 1, tensor.ndim))
-        tensor = np.transpose(tensor, order)
+    tensor = _contract_prep_axes(raw, qi)
     if project and (qi or qo):
         tensor = project_physical(tensor, qi, qo)
     return tensor
+
+
+def _conditioned_signed_vector(
+    dist,
+    n_kept: int,
+    fixed_bits: list[int],
+    qo: int,
+    signs_mask: list[int],
+    need_weight: bool,
+):
+    """(vec, weight) over kept outcomes of a (kept + fixed + measured) joint.
+
+    Like :func:`_signed_vectors` but the ``len(fixed_bits)`` middle bits
+    of each outcome must match ``fixed_bits`` for the outcome to count —
+    the conditioning primitive of dynamic-definition reconstruction.  The
+    joint's *support* is what is iterated (bounded by the fragment width,
+    the paper's premise), never ``2**fragment_outputs``; only the
+    ``2**n_kept`` window accumulator is dense.
+    """
+    nf = len(fixed_bits)
+    probs = dist.values_array
+    if dist.n_bits <= 62 and not dist.chunked:
+        outcomes = dist.keys_array.astype(np.int64)
+        x_key = outcomes >> (nf + qo)
+        if nf:
+            fixed_key = 0
+            for bit in fixed_bits:
+                fixed_key = (fixed_key << 1) | bit
+            match = ((outcomes >> qo) & ((1 << nf) - 1)) == fixed_key
+            outcomes = outcomes[match]
+            probs = probs[match]
+            x_key = x_key[match]
+        sign = np.ones(len(probs))
+        if signs_mask:
+            m_bits = outcomes & ((1 << qo) - 1)
+            parity = np.zeros(len(probs), dtype=np.int64)
+            for j in signs_mask:
+                parity ^= (m_bits >> (qo - 1 - j)) & 1
+            sign = 1.0 - 2.0 * parity
+        x_key = x_key.astype(np.int64)
+    else:
+        # >62-bit joints: work off the sparse support's bit matrix
+        bits = dist.bit_matrix()
+        if nf:
+            target = np.asarray(fixed_bits, dtype=bool)
+            match = (bits[:, n_kept : n_kept + nf] == target).all(axis=1)
+            bits = bits[match]
+            probs = probs[match]
+        from repro.analysis.distributions import pack_bit_rows
+
+        if n_kept:
+            x_key = pack_bit_rows(bits[:, :n_kept]).astype(np.int64)
+        else:
+            x_key = np.zeros(len(probs), dtype=np.int64)
+        sign = np.ones(len(probs))
+        if signs_mask:
+            m_block = bits[:, n_kept + nf :]
+            parity = np.zeros(len(probs), dtype=np.int64)
+            for j in signs_mask:
+                parity ^= m_block[:, j].astype(np.int64)
+            sign = 1.0 - 2.0 * parity
+    vec = np.bincount(x_key, weights=probs * sign, minlength=2**n_kept)
+    weight = None
+    if need_weight:
+        weight = np.bincount(x_key, weights=probs, minlength=2**n_kept)
+    return vec, weight
+
+
+def build_conditioned_fragment_tensor(
+    data: FragmentData,
+    keep_locals: list[int],
+    fixed_locals: dict[int, int],
+    snap_clifford: bool = False,
+) -> np.ndarray:
+    """:func:`build_fragment_tensor` with some output bits pinned.
+
+    ``fixed_locals`` maps fragment-local circuit-output qubits to bit
+    values; each tensor entry accumulates only outcomes matching them, so
+    contracting these tensors yields joint probabilities
+    ``P(fixed, window)`` — exactly what the recursive dynamic-definition
+    driver needs to refine one bin.  Shape contract is unchanged:
+    ``(4,)*qi + (4,)*qo + (2**len(keep_locals),)``.
+    """
+    fragment = data.fragment
+    qi = len(fragment.quantum_inputs)
+    qo = len(fragment.quantum_outputs)
+    out_cols = [lq for _cut, lq in fragment.quantum_outputs]
+    keep_cols = list(keep_locals)
+    fixed_cols = sorted(fixed_locals)
+    fixed_bits = [int(fixed_locals[c]) for c in fixed_cols]
+    n_kept = len(keep_cols)
+    snap = snap_clifford and fragment.is_clifford
+
+    raw = np.zeros((4,) * qi + (4,) * qo + (2**n_kept,))
+    for preps in itertools.product(range(4), repeat=qi):
+        for pauli_out in itertools.product(range(4), repeat=qo):
+            bases = tuple(BASIS_FOR_PAULI[p] for p in pauli_out)
+            dist = data.variant(preps, bases).joint(
+                keep_cols + fixed_cols + out_cols
+            )
+            signs_mask = [j for j, p in enumerate(pauli_out) if p != 0]
+            need_weight = bool(snap and signs_mask)
+            vec, weight = _conditioned_signed_vector(
+                dist, n_kept, fixed_bits, qo, signs_mask, need_weight
+            )
+            if snap and signs_mask:
+                vec = _snap_vector(vec, weight)
+            raw[preps + pauli_out] = vec
+    return _contract_prep_axes(raw, qi)
 
 
 class SparseKeyedVector:

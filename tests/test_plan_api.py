@@ -112,8 +112,9 @@ class TestEstimate:
         estimate = plan.estimate()
         assert len(estimate.fragments) == plan.num_fragments
         assert set(estimate.backends) == set(plan.backend_names)
+        assert estimate.reconstruction_cost > 0
         assert sum(f.cost for f in estimate.fragments) == pytest.approx(
-            estimate.total_cost
+            estimate.total_cost - estimate.reconstruction_cost
         )
 
     def test_estimate_predicts_cache_hits(self):
