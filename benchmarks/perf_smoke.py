@@ -26,6 +26,7 @@ import time
 
 import numpy as np
 
+import repro.kernels as rk
 from repro.analysis.distributions import total_variation_distance
 from repro.circuits import Circuit, gates, random_clifford_circuit
 from repro.core import SuperSim
@@ -313,6 +314,171 @@ def bench_streaming_reconstruction() -> dict:
     }
 
 
+def _recombination_workload():
+    """Shared k=4 chain tensors for the tier and path-cache benches."""
+    circuit, cuts = _chain_workload(blocks=5, width=5, depth=6, seed=1)
+    cc = cut_circuit(circuit, cuts)
+    data = SuperSim()._evaluator().evaluate_all(cc.fragments)
+    keep = list(circuit.measured_qubits)
+    keep_set = set(keep)
+    kept_locals = [
+        [lq for oq, lq in f.circuit_outputs if oq in keep_set]
+        for f in cc.fragments
+    ]
+    tensors = [
+        build_fragment_tensor(d, kl) for d, kl in zip(data, kept_locals)
+    ]
+    return cc, tensors, kept_locals, keep
+
+
+def bench_kernel_tiers() -> dict:
+    """The three hot loops per available kernel tier, parity-checked.
+
+    Times (a) the 200q packed tableau apply_circuit + measurement sweep,
+    (b) the k=4 dense einsum recombination, and (c) the distribution
+    marginal+sample pipeline under every tier whose dependency probed in,
+    and asserts each accelerated tier reproduces the NumPy tier's results
+    (bit-identical sample counts, 1e-12 on reconstructed floats).
+    """
+    circuit = random_clifford_circuit(TABLEAU_QUBITS, TABLEAU_DEPTH, rng=0)
+    qubits = tuple(range(TABLEAU_QUBITS))
+    cc, tensors, kept_locals, keep = _recombination_workload()
+
+    rng = np.random.default_rng(7)
+    n_bits = 40
+    support = 100_000
+    keys = np.unique(
+        rng.integers(0, 1 << n_bits, size=support + support // 8, dtype=np.uint64)
+    )[:support]
+    vals = rng.random(len(keys))
+    vals /= vals.sum()
+    from repro.analysis.distributions import Distribution
+
+    dist = Distribution.from_arrays(n_bits, keys, vals, assume_sorted=True)
+    keep_positions = list(range(0, n_bits, 2))
+    shots = 100_000
+
+    def tableau_run():
+        tableau = Tableau(TABLEAU_QUBITS)
+        tableau.apply_circuit(circuit)
+        tableau.measurement_distribution(qubits)
+
+    def recon_run():
+        return reconstruct_distribution(
+            cc, tensors, kept_locals, keep, prune_zeros=False, method="einsum"
+        )[0]
+
+    def dist_run():
+        return (
+            dist.marginal(keep_positions),
+            dist.sample(shots, rng=np.random.default_rng(3)),
+        )
+
+    tiers: dict = {}
+    baseline = None
+    saved = rk.get_kernel_tier()
+    try:
+        for tier in rk.available_tiers():
+            rk.set_kernel_tier(tier)
+            entry = {
+                "tableau_seconds": _best(tableau_run, repeats=3),
+                "reconstruction_seconds": _best(recon_run, repeats=3),
+                "distribution_seconds": _best(dist_run, repeats=3),
+            }
+            recon = recon_run()
+            marg, counts = dist_run()
+            if baseline is None:
+                baseline = (recon, marg, counts)
+                entry["parity"] = "reference"
+            else:
+                ref_recon, ref_marg, ref_counts = baseline
+                assert counts == ref_counts, f"{tier}: sample counts diverge"
+                assert np.array_equal(
+                    marg.keys_array, ref_marg.keys_array
+                ), f"{tier}: marginal support diverges"
+                np.testing.assert_allclose(
+                    marg.values_array, ref_marg.values_array, atol=1e-12
+                )
+                assert np.array_equal(
+                    recon.keys_array, ref_recon.keys_array
+                ), f"{tier}: reconstruction support diverges"
+                np.testing.assert_allclose(
+                    recon.values_array, ref_recon.values_array, atol=1e-12
+                )
+                entry["parity"] = "ok"
+            tiers[tier] = entry
+    finally:
+        rk.set_kernel_tier(saved)
+    if "numba" in tiers:
+        for loop in (
+            "tableau_seconds",
+            "reconstruction_seconds",
+            "distribution_seconds",
+        ):
+            tiers["numba"][f"speedup_{loop.removesuffix('_seconds')}"] = (
+                tiers["numpy"][loop] / tiers["numba"][loop]
+            )
+    return tiers
+
+
+def bench_path_cache() -> dict:
+    """Warm vs cold einsum contraction-path derivation on window contractions.
+
+    The recursive dynamic-definition engine contracts identically-shaped
+    small window tensors once per frontier bin; the memoized
+    ``np.einsum_path`` turns the per-window greedy path derivation into a
+    dict lookup.  Cold clears the cache before every contraction (the
+    pre-cache behaviour), warm reuses it.
+    """
+    from repro.core import reconstruction as rec
+    from repro.core.reconstruction import _reduce_window_tensors
+
+    cc, tensors, kept_locals, keep = _recombination_workload()
+    window = keep[:8]
+    # reduce once up front: the recursive driver re-reduces per frontier
+    # bin, but the contraction over the reduced shapes is the part the
+    # path cache accelerates — time exactly that, repeated
+    reduced, reduced_kept = _reduce_window_tensors(
+        cc, tensors, kept_locals, window, {}
+    )
+
+    def contract():
+        return reconstruct_distribution(
+            cc, reduced, reduced_kept, window, max_dense_bits=None
+        )
+
+    # batch contractions per timed call: a single window contraction is
+    # sub-millisecond, so timer/scheduler jitter would swamp the per-call
+    # path-derivation saving
+    batch = 20
+
+    def cold():
+        for _ in range(batch):
+            rec.clear_einsum_path_cache()
+            contract()
+
+    def warm():
+        for _ in range(batch):
+            contract()
+
+    cold_seconds = _best(cold, repeats=7) / batch
+    rec.clear_einsum_path_cache()
+    contract()  # prime
+    warm_seconds = _best(warm, repeats=7) / batch
+    _, stats = contract()
+    return {
+        "workload": (
+            f"repeated 8-bit window contraction of the k={cc.num_cuts} "
+            "chain, cold (path re-derived) vs warm (path cache hit)"
+        ),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds,
+        "warm_cache_hits": stats.path_cache_hits,
+        "warm_cache_misses": stats.path_cache_misses,
+    }
+
+
 # the array-native data plane samples the 200q affine form at ~1.3M
 # shots/s on a quiet machine (the dict-based seed managed ~41k); the CI
 # floor is the 10x acceptance level (~600k nominal) with the 0.7 noise
@@ -327,12 +493,17 @@ DISTRIBUTION_KERNELS_FLOOR = 10.0
 
 def main() -> int:
     results = {
+        # which repro.kernels tier the single-tier numbers below ran under
+        # (bench_kernel_tiers sweeps every available tier explicitly)
+        "kernel_tier": rk.active_tier(),
         "tableau_200q": bench_tableau(),
         "affine_sampling": bench_sampling(),
         "distribution_kernels": bench_distribution_kernels(),
         "mps_sampling": bench_mps_sampling(),
         "reconstruction_k4": bench_reconstruction(),
         "streaming_reconstruction": bench_streaming_reconstruction(),
+        "kernel_tiers": bench_kernel_tiers(),
+        "einsum_path_cache": bench_path_cache(),
     }
     # atomic write: CI reads the artifact even if a later run is killed
     # mid-write, so stage to a tmp file and os.replace into place
@@ -399,6 +570,40 @@ def main() -> int:
             "61q recursive peak window "
             f"{streaming['recursive_61q_peak_entries']} entries > 2^16"
         )
+    cache = results["einsum_path_cache"]
+    if cache["warm_cache_misses"] != 0:
+        failures.append(
+            "warm windowed contraction still misses the einsum path cache "
+            f"({cache['warm_cache_misses']} misses)"
+        )
+    # the warm path skips the greedy np.einsum_path derivation entirely;
+    # gate just above parity so scheduler noise cannot block the build
+    # but losing the cache (every contraction back to cold) does
+    if cache["speedup"] < 1.05:
+        failures.append(
+            "einsum path cache warm speedup only "
+            f"{cache['speedup']:.2f}x (< 1.05x)"
+        )
+    tiers = results["kernel_tiers"]
+    for tier, entry in tiers.items():
+        if entry.get("parity") not in ("reference", "ok"):
+            failures.append(f"kernel tier {tier} failed parity")
+    if "numba" in tiers:
+        # acceptance level is 2x on a quiet machine; gate at 1.5x on at
+        # least two of the three hot loops so shared-runner jitter does
+        # not block the build but a dead JIT path does
+        wins = sum(
+            tiers["numba"][key] >= 1.5
+            for key in (
+                "speedup_tableau",
+                "speedup_reconstruction",
+                "speedup_distribution",
+            )
+        )
+        if wins < 2:
+            failures.append(
+                f"numba tier >=1.5x on only {wins}/3 hot loops"
+            )
     if failures:
         print("PERF SMOKE FAILURES:", "; ".join(failures), file=sys.stderr)
         return 1

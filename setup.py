@@ -1,5 +1,19 @@
-"""Shim for legacy editable installs (offline environment lacks `wheel`)."""
+"""Shim for legacy editable installs (offline environment lacks `wheel`).
+
+The accelerated kernel tiers are optional extras::
+
+    pip install -e ".[numba]"   # JIT CPU kernels (repro.kernels numba tier)
+    pip install -e ".[cupy]"    # GPU kernels (repro.kernels cupy tier)
+
+Without them the library runs entirely on the pure-NumPy reference
+kernels; see ``REPRO_KERNELS`` in ``repro/kernels/__init__.py``.
+"""
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        "numba": ["numba>=0.59"],
+        "cupy": ["cupy-cuda12x>=13"],
+    },
+)

@@ -26,6 +26,8 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from repro import kernels as _kernels
+
 #: bits per packed key chunk (62 keeps every per-chunk dot product exact
 #: in uint64 arithmetic, with headroom for the weight accumulation)
 CHUNK_BITS = 62
@@ -458,11 +460,13 @@ class Distribution:
         if not self.chunked and nk <= CHUNK_BITS:
             # single-word fast path: gather each kept bit straight from the
             # packed keys into its output position — no bit matrix at all
-            new_keys = np.zeros(len(self._vals), dtype=np.uint64)
-            for out_pos, pos in enumerate(keep):
-                src = np.uint64(self.n_bits - 1 - pos)
-                dst = np.uint64(nk - 1 - out_pos)
-                new_keys |= ((self._keys >> src) & np.uint64(1)) << dst
+            srcs = np.array(
+                [self.n_bits - 1 - pos for pos in keep], dtype=np.uint64
+            )
+            dsts = np.array(
+                [nk - 1 - out_pos for out_pos in range(nk)], dtype=np.uint64
+            )
+            new_keys = _kernels.bit_gather(self._keys, srcs, dsts)
             return Distribution.from_arrays(nk, new_keys, self._vals, dedupe=True)
         return Distribution.from_bit_rows(
             self.bit_matrix(keep), weights=self._vals, n_bits=nk
@@ -498,7 +502,7 @@ class Distribution:
         uniforms = rng.random(shots)
         uniforms.sort()
         uniforms *= total
-        return np.searchsorted(cdf, uniforms, side="right")
+        return _kernels.inverse_cdf_indices(cdf, uniforms)
 
     def sample(self, shots: int, rng: np.random.Generator | int | None = None):
         """Draw ``shots`` outcomes; returns a counts dict."""

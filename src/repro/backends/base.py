@@ -37,7 +37,10 @@ class Capabilities:
     readout (``None`` means the same as ``max_qubits``).  ``pool`` is the
     executor the backend prefers for parallel variant evaluation:
     ``"thread"`` when its kernels release the GIL (numpy), ``"process"``
-    when they are Python-bound.
+    when they are Python-bound.  ``kernel_tiers`` lists the
+    :mod:`repro.kernels` tiers the backend's hot loops can exploit when
+    available (``"numpy"`` always; backends built on the packed tableau
+    or the shared data plane also benefit from ``"numba"``/``"cupy"``).
     """
 
     clifford_only: bool = False
@@ -48,6 +51,7 @@ class Capabilities:
     affine: bool = False
     diagonal_nonclifford_only: bool = False
     pool: str = "thread"
+    kernel_tiers: tuple[str, ...] = ("numpy",)
 
 
 @dataclass(frozen=True)

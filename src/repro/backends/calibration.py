@@ -71,9 +71,14 @@ def host_fingerprint() -> str:
     """A stable identifier of the machine the constants were measured on.
 
     Covers the facts that move the measured ratios: CPU architecture and
-    platform, logical CPU count, and the Python/numpy major environment.
-    Deliberately excludes anything repo- or checkout-specific.
+    platform, logical CPU count, the Python/numpy major environment, and
+    the active :mod:`repro.kernels` tier (constants measured under numba
+    must never be reused for a NumPy-only run, and vice versa — a tier
+    change therefore auto-remeasures).  Deliberately excludes anything
+    repo- or checkout-specific.
     """
+    from repro.kernels import active_tier
+
     return "|".join(
         (
             platform.system(),
@@ -81,6 +86,7 @@ def host_fingerprint() -> str:
             f"cpus={os.cpu_count()}",
             f"py={platform.python_version_tuple()[0]}.{platform.python_version_tuple()[1]}",
             f"numpy={np.__version__.split('.')[0]}.{np.__version__.split('.')[1]}",
+            f"kernels={active_tier()}",
         )
     )
 

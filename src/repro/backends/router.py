@@ -74,9 +74,15 @@ class BackendRouter:
                 )
         import weakref
 
+        from repro.kernels import active_tier
+
         # backends whose estimate_cost predates the mode argument, learned
         # once per instance so routing does not re-inspect signatures
         self._legacy_cost_model: "weakref.WeakSet" = weakref.WeakSet()
+        # the repro.kernels tier the router was built under; cost_scales
+        # calibrated under a different tier are stale (host_fingerprint
+        # embeds the tier, so calibrated_router() re-measures on change)
+        self.kernel_tier: str = active_tier()
 
     def scored_cost(
         self,

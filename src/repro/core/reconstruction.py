@@ -49,6 +49,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.analysis.distributions import Distribution
 from repro.core.fragments import CutCircuit
 
@@ -123,6 +124,58 @@ class ReconstructionStats:
     refinements: int = 0
     peak_window_entries: int = 0
     covered_probability: float = 1.0
+    path_cache_hits: int = 0
+    path_cache_misses: int = 0
+
+
+# -- einsum contraction-path cache -------------------------------------------
+#
+# `np.einsum_path` re-derives the greedy pairwise order on every call; for
+# the recursive dynamic-definition engine that is once per window per
+# frontier bin over *identical* shapes.  The path depends only on the
+# operand shapes and subscripts, so it is memoized here and handed to the
+# contraction kernel pre-computed.
+
+_EINSUM_PATH_CACHE: dict[tuple, list] = {}
+_PATH_CACHE_HITS = 0
+_PATH_CACHE_MISSES = 0
+
+
+def clear_einsum_path_cache() -> None:
+    """Drop all memoized contraction paths and reset the hit counters."""
+    global _PATH_CACHE_HITS, _PATH_CACHE_MISSES
+    _EINSUM_PATH_CACHE.clear()
+    _PATH_CACHE_HITS = 0
+    _PATH_CACHE_MISSES = 0
+
+
+def einsum_path_cache_counters() -> tuple[int, int]:
+    """Cumulative ``(hits, misses)`` of the contraction-path cache."""
+    return _PATH_CACHE_HITS, _PATH_CACHE_MISSES
+
+
+def _cached_einsum_path(tag: str, operands: list):
+    """Memoized ``np.einsum_path`` for an interleaved operand list.
+
+    ``operands`` is ``[tensor, subscript, ..., out_subscript]``; the cache
+    key is the shape/subscript signature (plus ``tag``, so differently
+    shaped uses of coincidentally equal signatures cannot collide across
+    call sites).
+    """
+    global _PATH_CACHE_HITS, _PATH_CACHE_MISSES
+    signature: list = [tag]
+    for i in range(0, len(operands) - 1, 2):
+        signature.append((operands[i].shape, tuple(operands[i + 1])))
+    signature.append(tuple(operands[-1]))
+    key = tuple(signature)
+    path = _EINSUM_PATH_CACHE.get(key)
+    if path is None:
+        _PATH_CACHE_MISSES += 1
+        path = np.einsum_path(*operands, optimize="greedy")[0]
+        _EINSUM_PATH_CACHE[key] = path
+    else:
+        _PATH_CACHE_HITS += 1
+    return path
 
 
 def _axis_cuts(fragments) -> list[list[int]]:
@@ -152,7 +205,9 @@ def _count_survivors(masks: list[np.ndarray], axis_cuts: list[list[int]]) -> int
     for mask, cuts in zip(masks, axis_cuts):
         operands.append(mask.astype(np.float64))
         operands.append(list(cuts))
-    return int(round(float(np.einsum(*operands, [], optimize=True))))
+    operands.append([])
+    path = _cached_einsum_path("survivors", operands)
+    return int(round(float(_kernels.dense_contract(operands, path))))
 
 
 def _dense_einsum(
@@ -162,9 +217,10 @@ def _dense_einsum(
 
     Cut ``c`` is axis label ``c``; fragment ``f``'s kept-bit axis is label
     ``k + f`` and survives to the output (fragment order), so the result
-    flattens to the concatenated kept-bit accumulator.  ``optimize=
-    "greedy"`` picks a pairwise contraction order by the standard greedy
-    smallest-intermediate heuristic.
+    flattens to the concatenated kept-bit accumulator.  The pairwise
+    order comes from the memoized greedy ``np.einsum_path`` (see
+    :func:`_cached_einsum_path`) and the contraction itself dispatches
+    through :mod:`repro.kernels` so an accelerated tier can take over.
     """
     operands: list = []
     out_sub: list[int] = []
@@ -172,8 +228,9 @@ def _dense_einsum(
         operands.append(tensor)
         operands.append(list(axis_cuts[f_index]) + [k + f_index])
         out_sub.append(k + f_index)
-    result = np.einsum(*operands, out_sub, optimize="greedy")
-    return result.reshape(-1)
+    operands.append(out_sub)
+    path = _cached_einsum_path("dense", operands)
+    return _kernels.dense_contract(operands, path).reshape(-1)
 
 
 def _dense_loop(
@@ -239,6 +296,7 @@ def reconstruct_distribution(
     k = cut_circuit.num_cuts
     total_terms = 4**k
     stats = ReconstructionStats(terms_total=total_terms)
+    hits0, misses0 = einsum_path_cache_counters()
 
     axis_cuts = _axis_cuts(fragments)
     kept_sizes = [len(kl) for kl in kept_locals]
@@ -297,6 +355,9 @@ def reconstruct_distribution(
         accumulator[nonzero],
         assume_sorted=True,
     )
+    hits1, misses1 = einsum_path_cache_counters()
+    stats.path_cache_hits = hits1 - hits0
+    stats.path_cache_misses = misses1 - misses0
     return distribution, stats
 
 
@@ -483,14 +544,16 @@ def _reduce_window_tensors(
         base = len(head)
         # reduce from the last bit axis backward so earlier axis indices
         # stay valid as axes disappear
+        axes: list[int] = []
+        bits: list[int] = []
         for j in range(m - 1, -1, -1):
             q = orig[j]
             if q in window_set:
                 continue
-            if q in fixed:
-                t = np.take(t, int(fixed[q]), axis=base + j)
-            else:
-                t = t.sum(axis=base + j)
+            axes.append(base + j)
+            bits.append(int(fixed[q]) if q in fixed else -1)
+        if axes:
+            t = _kernels.window_reduce(t, axes, bits)
         survivors = [j for j in range(m) if orig[j] in window_set]
         t = t.reshape(head + (2 ** len(survivors),))
         new_tensors.append(np.ascontiguousarray(t))
@@ -628,6 +691,8 @@ def reconstruct_dynamic(
             stats.windows += 1
             stats.terms_skipped = max(stats.terms_skipped, sub.terms_skipped)
             stats.peak_window_entries = max(stats.peak_window_entries, 2**width)
+            stats.path_cache_hits += sub.path_cache_hits
+            stats.path_cache_misses += sub.path_cache_misses
             for key, prob in zip(dist.key_ints(), dist.values_array.tolist()):
                 if not final and prob <= refine_threshold:
                     continue

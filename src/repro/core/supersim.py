@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.analysis.distributions import Distribution
 from repro.backends.base import CircuitFeatures
 from repro.backends.cache import VariantCache, resolve_cache
@@ -84,10 +85,14 @@ class SuperSimResult:
     ``timings`` always carries all four stage keys (``cut``, ``evaluate``,
     ``tomography``, ``reconstruct`` — 0.0 for stages that did no work,
     e.g. tomography on a fully-cached run) plus the variant-cache counters
-    of this run (``cache_hits`` / ``cache_misses``); ``backend_usage``
-    counts the variants actually *simulated* per backend name this run
-    (cache hits and within-run duplicates excluded, so a fully cached run
-    reports an empty mapping).
+    of this run (``cache_hits`` / ``cache_misses``) and one
+    ``kernel.<name>`` entry per :mod:`repro.kernels` kernel that ran
+    during execution (seconds spent inside that kernel, across all
+    stages).  ``kernel_tier`` records the kernel tier the run dispatched
+    to (``numpy`` / ``numba`` / ``cupy``); ``backend_usage`` counts the
+    variants actually *simulated* per backend name this run (cache hits
+    and within-run duplicates excluded, so a fully cached run reports an
+    empty mapping).
     """
 
     distribution: Distribution
@@ -96,6 +101,7 @@ class SuperSimResult:
     timings: dict[str, float] = field(default_factory=dict)
     raw_distribution: Distribution | None = None
     backend_usage: dict[str, int] = field(default_factory=dict)
+    kernel_tier: str = "numpy"
 
     def __post_init__(self):
         for stage in STAGES:
@@ -476,6 +482,7 @@ class SuperSim:
         """
         cc = plan.cut_circuit
         timings: dict[str, float] = {"cut": plan.planning_seconds}
+        kernel_snapshot = _kernels.counters_snapshot()
         assignments = {f.index: b for f, b in zip(cc.fragments, plan._backends)}
 
         start = time.perf_counter()
@@ -514,6 +521,8 @@ class SuperSim:
                 raw.values_array[positive],
                 assume_sorted=True,
             )
+            for name, secs in _kernels.timings_since(kernel_snapshot).items():
+                timings[f"kernel.{name}"] = secs
             return SuperSimResult(
                 distribution=cleaned,
                 cut_circuit=cc,
@@ -521,6 +530,7 @@ class SuperSim:
                 timings=timings,
                 raw_distribution=raw,
                 backend_usage=backend_usage,
+                kernel_tier=_kernels.active_tier(),
             )
 
         if mode == "windowed":
@@ -572,6 +582,8 @@ class SuperSim:
         timings["reconstruct"] = time.perf_counter() - start
 
         cleaned = raw.clipped() if len(raw) else raw
+        for name, secs in _kernels.timings_since(kernel_snapshot).items():
+            timings[f"kernel.{name}"] = secs
         return SuperSimResult(
             distribution=cleaned,
             cut_circuit=cc,
@@ -579,6 +591,7 @@ class SuperSim:
             timings=timings,
             raw_distribution=raw,
             backend_usage=backend_usage,
+            kernel_tier=_kernels.active_tier(),
         )
 
     # -- main entry points --------------------------------------------------------

@@ -1,0 +1,59 @@
+"""CuPy (GPU) kernel variants.
+
+Only the kernels whose working set amortises a host↔device round-trip
+get a CuPy variant: GF(2) matmul (one big GEMM), the dense einsum
+contraction, and the packed bit-gather.  The row-mutating tableau
+kernels (``apply_layers``, ``row_mul``) stay on the CPU tiers — their
+arrays are mutated in place between Python-level layer boundaries, so a
+GPU copy per layer would cost more than it saves; under the cupy tier
+those kernels transparently fall back to the NumPy reference.
+
+Results are copied back to host NumPy arrays so callers never see a
+``cupy.ndarray``; the bit/integer kernels are exact and the float
+contraction matches the reference within the 1e-12 accumulation
+contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.registry import variant
+
+try:  # pragma: no cover - exercised only on GPU hosts
+    import cupy
+
+    HAVE_CUPY = True
+except ImportError:
+    cupy = None
+    HAVE_CUPY = False
+
+
+if HAVE_CUPY:  # pragma: no cover - requires a GPU
+
+    @variant("gf2_matmul", "cupy")
+    def gf2_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        dtype = np.float32 if a.shape[1] < (1 << 24) else np.float64
+        da = cupy.asarray(a, dtype=dtype)
+        db = cupy.asarray(b, dtype=dtype)
+        acc = da @ db
+        return (cupy.asnumpy(acc).astype(np.int64) & 1).astype(bool)
+
+    @variant("dense_contract", "cupy")
+    def dense_contract(operands: list, path) -> np.ndarray:
+        moved = [
+            cupy.asarray(op) if isinstance(op, np.ndarray) else op
+            for op in operands
+        ]
+        return cupy.asnumpy(cupy.einsum(*moved, optimize=path))
+
+    @variant("bit_gather", "cupy")
+    def bit_gather(
+        keys: np.ndarray, srcs: np.ndarray, dsts: np.ndarray
+    ) -> np.ndarray:
+        dk = cupy.asarray(keys)
+        out = cupy.zeros(dk.shape[0], dtype=cupy.uint64)
+        one = np.uint64(1)
+        for j in range(len(srcs)):
+            out |= ((dk >> np.uint64(srcs[j])) & one) << np.uint64(dsts[j])
+        return cupy.asnumpy(out)

@@ -41,6 +41,7 @@ import sys
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.analysis.distributions import Distribution
 from repro.circuits.circuit import Circuit
 from repro.paulis.pauli import PauliString
@@ -184,51 +185,21 @@ def _apply_layers_row_packed(layers, x, z, sign) -> None:
     Every array packs 64 generator rows per word, so a layer of L gates is
     a handful of bitwise ops on ``(words, L)`` column gathers — per-gate
     Python dispatch disappears and 64 rows advance per machine word.
+    Dispatches through :mod:`repro.kernels` (numba tier runs the same
+    loops ``prange``-parallel over the row words).
     """
-    for name, qarr in layers:
-        if name == "CX":
-            cs, ts = qarr[:, 0], qarr[:, 1]
-            xc = x[:, cs]
-            zt = z[:, ts]
-            sign ^= np.bitwise_xor.reduce(
-                xc & zt & ~(x[:, ts] ^ z[:, cs]), axis=1
-            )
-            x[:, ts] ^= xc
-            z[:, cs] ^= zt
-            continue
-        qs = qarr[:, 0]
-        if name == "H":
-            xs = x[:, qs]
-            zs = z[:, qs]
-            sign ^= np.bitwise_xor.reduce(xs & zs, axis=1)
-            x[:, qs] = zs
-            z[:, qs] = xs
-        elif name == "S":
-            xs = x[:, qs]
-            sign ^= np.bitwise_xor.reduce(xs & z[:, qs], axis=1)
-            z[:, qs] ^= xs
-        elif name == "X":
-            sign ^= np.bitwise_xor.reduce(z[:, qs], axis=1)
-        elif name == "Z":
-            sign ^= np.bitwise_xor.reduce(x[:, qs], axis=1)
-        elif name == "Y":
-            sign ^= np.bitwise_xor.reduce(x[:, qs] ^ z[:, qs], axis=1)
-        else:  # pragma: no cover - compiler emits only the names above
-            raise AssertionError(f"unknown layer gate {name!r}")
+    _kernels.apply_layers(layers, x, z, sign)
 
 
 def _gf2_matmul_bool(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """``(a @ b) mod 2`` of two 0/1 matrices, exactly, through BLAS.
+    """``(a @ b) mod 2`` of two 0/1 matrices, exactly.
 
     Integer matmuls never hit BLAS in NumPy (they run as naive C loops),
-    which made this the hot spot of batch sampling.  A float GEMM is
-    bit-exact here: every accumulated sum is an integer bounded by the
-    inner dimension, well inside float32's 2^24 exact-integer range
-    (float64 beyond that), and the parity is taken after the product.
+    which made this the hot spot of batch sampling.  Dispatches through
+    :mod:`repro.kernels`: the reference tier is an exact float GEMM, the
+    cupy tier the same GEMM on device.
     """
-    dtype = np.float32 if a.shape[1] < (1 << 24) else np.float64
-    acc = a.astype(dtype) @ b.astype(dtype)
-    return (acc.astype(np.int64) & 1).astype(bool)
+    return _kernels.gf2_matmul(a, b)
 
 
 def _enumerate_affine_image(
@@ -623,24 +594,10 @@ class Tableau:
         targets = np.asarray(targets)
         if targets.size == 0:
             return
-        x1, z1 = self.x[source], self.z[source]
-        x2, z2 = self.x[targets], self.z[targets]
-        ones = self._ones8
-        c1 = int(np.bitwise_count(x1 & z1).sum()) & 3
-        c2 = np.bitwise_count(x2 & z2) @ ones
-        cross = np.bitwise_count(z1[None, :] & x2) @ ones
-        new_x = x2 ^ x1[None, :]
-        new_z = z2 ^ z1[None, :]
-        c12 = np.bitwise_count(new_x & new_z) @ ones
-        # uint8 arithmetic wraps mod 256, which preserves the mod-4 phase
-        total = c1 + c2 + 2 * cross
-        half = ((total - c12) % 4) >= 2
-        self.sign[targets] = self.sign[targets] ^ self.sign[source] ^ half
+        _kernels.row_mul(self.x, self.z, self.sign, targets, source)
         src_sym = self.sym[source]
         if src_sym.any():
             self.sym[targets] ^= src_sym[None, :]
-        self.x[targets] = new_x
-        self.z[targets] = new_z
 
     # -- measurement -----------------------------------------------------------
 
