@@ -61,9 +61,16 @@ def noise_fingerprint(noise) -> tuple | None:
             return None
         return (channel.num_qubits, tuple(sorted(channel.terms)))
 
+    def opaque_token() -> tuple:
+        # unknown noise shape: a fresh token per call still allows in-run
+        # deduplication but never matches a previous run's entries
+        return ("opaque-noise", id(noise), object())
+
+    if "locations" in (getattr(noise, "__dict__", None) or {}):
+        # an instance-level `locations` override changes where channels
+        # apply in ways the channel terms cannot capture: keep it opaque
+        return opaque_token()
     try:
-        if "locations" in vars(noise):  # instance-level override: opaque
-            raise TypeError
         return (
             "noise",
             channel_key(noise.after_gate_1q),
@@ -71,9 +78,7 @@ def noise_fingerprint(noise) -> tuple | None:
             channel_key(noise.before_measure),
         )
     except (AttributeError, TypeError):
-        # unknown noise shape: a fresh token per call still allows in-run
-        # deduplication but never matches a previous run's entries
-        return ("opaque-noise", id(noise), object())
+        return opaque_token()
 
 
 def resolve_cache(spec) -> "VariantCache | None":

@@ -112,7 +112,19 @@ def _same_host_scales(path: Path) -> dict[str, float]:
     """
     try:
         payload = json.loads(path.read_text())
-    except (OSError, ValueError):
+    except FileNotFoundError:
+        return {}  # no cache yet: the normal first-run case, stay quiet
+    except (OSError, ValueError) as exc:
+        # a cache that exists but cannot be read is worth a warning:
+        # silently re-measuring makes startup mysteriously slow
+        import warnings
+
+        warnings.warn(
+            f"ignoring unreadable calibration cache {path} "
+            f"({type(exc).__name__}: {exc}); re-measuring cost scales",
+            RuntimeWarning,
+            stacklevel=3,
+        )
         return {}
     if payload.get("host") != host_fingerprint():
         return {}  # measured on a different machine: remeasure

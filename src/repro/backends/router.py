@@ -137,6 +137,28 @@ class BackendRouter:
                 cost = backend.estimate_cost(features)
         return cost * self.cost_scales.get(backend.name, 1.0)
 
+    def ranked(
+        self,
+        features: CircuitFeatures,
+        exact: bool = True,
+        noisy: bool = False,
+    ) -> list[Backend]:
+        """Every capable backend, cheapest first.
+
+        This is the fallback ordering ``failure_policy="degrade"`` walks
+        when a backend fails mid-run: the next entry is the cheapest
+        *remaining* backend whose capabilities admit the fragment.
+        """
+        mode = "exact" if exact else "sampled"
+        candidates = [
+            b
+            for b in self.backends
+            if b.can_handle(features, exact=exact, noisy=noisy)
+        ]
+        return sorted(
+            candidates, key=lambda b: self.scored_cost(b, features, mode)
+        )
+
     def select(
         self,
         features: CircuitFeatures,

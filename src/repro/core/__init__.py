@@ -37,6 +37,14 @@ from repro.core.fragments import CutCircuit, Fragment
 from repro.core.plan import CostEstimate, ExecutionPlan, FragmentPlan, SweepResult
 from repro.core.reconstruction import ReconstructionMemoryError
 from repro.core.supersim import SuperSim, SuperSimResult
+from repro.errors import (
+    BackendExecutionError,
+    FaultEvent,
+    FaultReport,
+    JobTimeoutError,
+    ReproError,
+    WorkerCrashError,
+)
 
 __all__ = [
     "Cut",
@@ -57,4 +65,10 @@ __all__ = [
     "CostEstimate",
     "FragmentPlan",
     "SweepResult",
+    "ReproError",
+    "BackendExecutionError",
+    "JobTimeoutError",
+    "WorkerCrashError",
+    "FaultEvent",
+    "FaultReport",
 ]

@@ -10,7 +10,9 @@ concerns explicitly and travel together through the pipeline:
   statistically (exact vs shots, Clifford shot rebalancing, tomography
   projection, noise, seeding);
 * :class:`ExecutionConfig` — where and how the work runs (forced backend,
-  router, variant cache, worker pool, reconstruction pruning);
+  router, variant cache, worker pool, reconstruction pruning) and what
+  happens when it fails (failure policy, retry budget, soft timeouts,
+  crash quarantine);
 * :class:`ReconstructionConfig` — how fragment tensors recombine into the
   output distribution (dense vs windowed vs recursive dynamic-definition,
   the qubit window size and top-k beam of the bounded-memory engines).
@@ -141,6 +143,50 @@ class ExecutionConfig(_Replaceable):
     prune_zeros:
         Skip recombination terms with an exactly-zero fragment factor
         (Section IX downstream-term pruning).
+    failure_policy:
+        What the engine does when a fragment job fails.  ``"raise"``
+        (default) fails fast with a contextful
+        :class:`~repro.errors.BackendExecutionError`; ``"retry"``
+        retries each job up to ``max_retries`` times with capped
+        exponential backoff (retried jobs reuse their
+        fingerprint-derived seed, so seeded results stay bit-identical
+        to a failure-free run) and raises only after exhaustion;
+        ``"degrade"`` additionally falls back along the router's
+        capability-admitted cost ordering to the next backend that can
+        run the fragment, recording every fallback in
+        ``SuperSimResult.faults``.
+    max_retries:
+        Per-job retry budget (per backend) under ``"retry"`` /
+        ``"degrade"``.
+    retry_backoff:
+        Base backoff in seconds before the first retry; doubles per
+        attempt, capped at ``retry_backoff_cap``.
+    retry_backoff_cap:
+        Upper bound on the per-retry backoff sleep.
+    job_timeout:
+        Explicit soft deadline in seconds for every fragment job.  When
+        ``None``, a deadline is derived per job from the calibrated cost
+        model — ``scored_cost x timeout_safety``, floored at
+        ``min_job_timeout`` — whenever the router carries measured
+        ``cost_scales`` (an uncalibrated router derives no deadline:
+        its cost units are not seconds).  A job past its deadline is
+        cancelled (process pools rebuild to kill the hung worker) and
+        retried; it counts against ``max_retries`` and raises
+        :class:`~repro.errors.JobTimeoutError` on exhaustion.
+    timeout_safety:
+        Safety factor between the calibrated cost prediction and the
+        derived soft deadline.
+    min_job_timeout:
+        Floor for derived deadlines, so cheap jobs are not cancelled on
+        scheduler jitter.
+    max_job_crashes:
+        Quarantine a job as poison (:class:`~repro.errors.WorkerCrashError`)
+        after being in flight across this many worker crashes.
+    chaos:
+        Testing hook: a :class:`~repro.testing.chaos.ChaosSchedule`
+        consulted before every job attempt to deterministically inject
+        exceptions, delays and worker crashes.  ``None`` (default) in
+        production.
     """
 
     backend: Any = None
@@ -151,6 +197,15 @@ class ExecutionConfig(_Replaceable):
     parallel: int = 1
     statevector_max_qubits: int = 20
     prune_zeros: bool = True
+    failure_policy: str = "raise"
+    max_retries: int = 3
+    retry_backoff: float = 0.05
+    retry_backoff_cap: float = 2.0
+    job_timeout: float | None = None
+    timeout_safety: float = 25.0
+    min_job_timeout: float = 5.0
+    max_job_crashes: int = 3
+    chaos: Any = None
 
     def __post_init__(self):
         if self.pool not in (None, "thread", "process"):
@@ -159,6 +214,23 @@ class ExecutionConfig(_Replaceable):
             )
         if self.parallel < 1:
             raise ValueError("parallel must be at least 1")
+        if self.failure_policy not in ("raise", "retry", "degrade"):
+            raise ValueError(
+                "failure_policy must be 'raise', 'retry' or 'degrade', "
+                f"got {self.failure_policy!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff < 0 or self.retry_backoff_cap < 0:
+            raise ValueError("retry backoff values must be non-negative")
+        if self.job_timeout is not None and not self.job_timeout > 0:
+            raise ValueError("job_timeout must be positive or None")
+        if not self.timeout_safety > 0:
+            raise ValueError("timeout_safety must be positive")
+        if self.min_job_timeout < 0:
+            raise ValueError("min_job_timeout must be non-negative")
+        if self.max_job_crashes < 1:
+            raise ValueError("max_job_crashes must be at least 1")
 
 
 @dataclass(frozen=True)

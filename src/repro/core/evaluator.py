@@ -22,9 +22,25 @@ heavy kernels).
 Per-job seeds are derived from the evaluator's root seed *and* the variant
 fingerprint, never from submission order, so sampled results are
 reproducible bit-for-bit at any parallelism.
+
+Execution is fault tolerant: every job is submitted individually through
+the :class:`_JobScheduler`, which retries transient backend failures with
+capped exponential backoff, enforces per-job soft deadlines derived from
+the calibrated cost model, self-heals a broken process pool (rebuilding it
+and resubmitting the in-flight jobs, quarantining a job only after it was
+in flight across ``max_job_crashes`` crashes), and — under
+``failure_policy="degrade"`` — walks the router's cost-ordered fallback
+chain.  A retried or fallen-back job reuses its fingerprint-derived seed,
+so a run that survived faults is bit-for-bit identical to a clean one;
+the survived faults are tallied in the evaluator's
+:class:`~repro.errors.FaultReport`.
 """
 
 from __future__ import annotations
+
+import heapq
+import time
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, CancelledError, wait
 
 import numpy as np
 
@@ -34,6 +50,12 @@ from repro.backends.cache import VariantCache, circuit_fingerprint
 from repro.backends.router import BackendRouter
 from repro.core.fragments import Fragment
 from repro.core.variants import all_variants, variant_circuit
+from repro.errors import (
+    BackendExecutionError,
+    FaultReport,
+    JobTimeoutError,
+    WorkerCrashError,
+)
 
 
 class VariantData:
@@ -118,11 +140,49 @@ class FragmentData:
 
 
 class _Job:
-    """One deduplicated unit of simulation work."""
+    """One deduplicated unit of simulation work.
 
-    __slots__ = ("key", "backend", "circuit", "shots", "seed", "noise", "affine")
+    ``fragment_index`` / ``features`` / ``is_clifford`` carry the context
+    the fault-tolerance layer needs (error attribution, degrade-mode
+    fallback routing); ``timeout`` is the job's soft deadline in seconds
+    (``None`` = none); ``attempt`` counts known prior failures and is set
+    by the scheduler before every (re)submission; ``chaos`` is the
+    optional deterministic fault-injection schedule and ``in_process``
+    tells the chaos harness whether a crash may be a real ``os._exit``.
+    """
 
-    def __init__(self, key, backend, circuit, shots, seed, noise, affine):
+    __slots__ = (
+        "key",
+        "backend",
+        "circuit",
+        "shots",
+        "seed",
+        "noise",
+        "affine",
+        "fragment_index",
+        "features",
+        "is_clifford",
+        "timeout",
+        "attempt",
+        "chaos",
+        "in_process",
+    )
+
+    def __init__(
+        self,
+        key,
+        backend,
+        circuit,
+        shots,
+        seed,
+        noise,
+        affine,
+        fragment_index=None,
+        features=None,
+        is_clifford=False,
+        timeout=None,
+        chaos=None,
+    ):
         self.key = key
         self.backend = backend
         self.circuit = circuit
@@ -130,10 +190,29 @@ class _Job:
         self.seed = seed
         self.noise = noise
         self.affine = affine
+        self.fragment_index = fragment_index
+        self.features = features
+        self.is_clifford = is_clifford
+        self.timeout = timeout
+        self.attempt = 0
+        self.chaos = chaos
+        self.in_process = False
+
+    @property
+    def fingerprint(self) -> str:
+        return self.key[0]
 
 
 def _execute_job(job: _Job) -> VariantData:
     """Simulate one variant (module-level so process pools can pickle it)."""
+    if job.chaos is not None:
+        from repro.testing.chaos import perform_action
+
+        action = job.chaos.action_for(
+            job.fingerprint, job.attempt, backend=job.backend.name
+        )
+        if action is not None:
+            perform_action(action, in_process_worker=job.in_process)
     rng = np.random.default_rng(np.random.SeedSequence(job.seed))
     if job.noise is not None:
         return SampledVariantData(
@@ -147,6 +226,486 @@ def _execute_job(job: _Job) -> VariantData:
     if job.shots is None:
         return DenseVariantData(job.backend.probabilities(job.circuit))
     return DenseVariantData(job.backend.sample(job.circuit, job.shots, rng))
+
+
+def _is_simulated_crash(exc: BaseException) -> bool:
+    """Is this the chaos harness's stand-in for a worker crash?"""
+    try:
+        from repro.testing.chaos import SimulatedWorkerCrash
+    except Exception:  # pragma: no cover - testing package always ships
+        return False
+    return isinstance(exc, SimulatedWorkerCrash)
+
+
+class SharedExecutorPool:
+    """A rebuildable executor handle shared across batch runs.
+
+    ``SuperSim.sweep`` / ``run_many`` used to hand evaluators a raw
+    executor; the fault-tolerant scheduler needs to *replace* a broken
+    process pool mid-run, so the shared handle owns the executor and
+    exposes :meth:`rebuild`.  Raw executors are still accepted everywhere
+    a handle is — they just cannot self-heal across batch points.
+    """
+
+    def __init__(self, kind: str, workers: int):
+        if kind not in ("thread", "process"):
+            raise ValueError(f"kind must be 'thread' or 'process', got {kind!r}")
+        self.kind = kind
+        self.workers = max(1, int(workers))
+        self.rebuilds = 0
+        self.executor = self._make()
+
+    def _make(self):
+        if self.kind == "process":
+            from concurrent.futures import ProcessPoolExecutor
+
+            return ProcessPoolExecutor(max_workers=self.workers)
+        from concurrent.futures import ThreadPoolExecutor
+
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+    def rebuild(self):
+        """Replace the executor (after ``BrokenProcessPool`` or a hang)."""
+        try:
+            self.executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass  # a broken pool may refuse a clean shutdown
+        self.executor = self._make()
+        self.rebuilds += 1
+        return self.executor
+
+    def shutdown(self, wait: bool = True) -> None:
+        self.executor.shutdown(wait=wait, cancel_futures=not wait)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedExecutorPool({self.kind!r}, workers={self.workers}, "
+            f"rebuilds={self.rebuilds})"
+        )
+
+
+class _JobState:
+    """Mutable per-job fault bookkeeping, scheduler side.
+
+    ``failures`` counts raised exceptions and soft-timeouts on the job's
+    *current* backend (reset on a degrade-mode fallback); ``crashes``
+    counts worker crashes the job was in flight for; ``tried`` lists the
+    backend names already attempted, so fallback never revisits one.
+    """
+
+    __slots__ = ("job", "failures", "crashes", "tried")
+
+    def __init__(self, job: _Job):
+        self.job = job
+        self.failures = 0
+        self.crashes = 0
+        self.tried = [job.backend.name]
+
+
+class _JobScheduler:
+    """Futures-based per-job engine implementing the failure policy.
+
+    Replaces the fire-and-forget ``executor.map`` batch.  Jobs are
+    submitted individually with in-flight submissions bounded by the
+    worker count (so a soft deadline measures *run* time, not queue
+    time); completions, failures and deadline misses are handled per job:
+
+    * ``failure_policy="raise"`` — fail fast with a contextful
+      :class:`~repro.errors.ReproError` subclass;
+    * ``"retry"`` — capped exponential backoff up to ``max_retries``
+      per job, then raise;
+    * ``"degrade"`` — like retry, but an exhausted job falls back to the
+      next-cheapest capable backend in the router's cost ordering (its
+      result is kept out of the cross-run cache).
+
+    A ``BrokenProcessPool`` triggers self-healing: finished results are
+    harvested, the pool is rebuilt (through the shared handle's
+    ``rebuild()`` when one is in use), and every unfinished in-flight job
+    is charged one crash and resubmitted — attribution is heuristic, so a
+    job is quarantined as poison only after ``max_job_crashes`` crashes
+    with it in flight.  Determinism is untouched throughout: resubmitted
+    jobs reuse their fingerprint-derived seeds.
+    """
+
+    def __init__(
+        self,
+        ev: "FragmentEvaluator",
+        jobs: list[_Job],
+        pool: str,
+        workers: int,
+        shared=None,
+    ):
+        self.ev = ev
+        self.jobs = jobs
+        self.pool = pool
+        self.workers = max(1, int(workers))
+        self.shared = shared  # SharedExecutorPool (or raw executor) or None
+        self.own_executor = shared is None
+        self.executor = None
+        self.results: dict[tuple, VariantData] = {}
+        self.degraded: set[tuple] = set()
+        self.states = {job.key: _JobState(job) for job in jobs}
+        self.pending: list[tuple[float, int, _Job]] = []  # (ready, seq, job)
+        self.inflight: dict = {}  # future -> (job, deadline | None)
+        self._seq = 0
+
+    # -- policy ---------------------------------------------------------------
+
+    @property
+    def policy(self) -> str:
+        return self.ev.failure_policy
+
+    def _record(self, kind: str, job: _Job, detail: str = "") -> None:
+        self.ev.faults.record(
+            kind,
+            fragment_index=job.fragment_index,
+            backend=job.backend.name,
+            attempt=job.attempt,
+            detail=detail,
+        )
+
+    def _context(self, state: _JobState) -> dict:
+        return {
+            "fragment_index": state.job.fragment_index,
+            "backend": state.job.backend.name,
+            "attempts": state.failures + state.crashes,
+        }
+
+    def _backoff(self, n: int) -> float:
+        base = self.ev.retry_backoff
+        if base <= 0:
+            return 0.0
+        return min(self.ev.retry_backoff_cap, base * (2.0 ** (n - 1)))
+
+    def _next_fallback(self, state: _JobState):
+        """The cheapest capable backend not yet tried, or ``None``."""
+        job = state.job
+        if job.features is None:
+            return None
+        try:
+            ranked = self.ev.router.ranked(
+                job.features,
+                exact=job.shots is None,
+                noisy=job.noise is not None,
+            )
+        except Exception:
+            return None
+        for cand in ranked:
+            if cand.name not in state.tried:
+                return cand
+        return None
+
+    def _fall_back(self, state: _JobState, reason: str) -> bool:
+        """Swap the job onto the next capable backend (degrade mode)."""
+        cand = self._next_fallback(state)
+        if cand is None:
+            return False
+        job = state.job
+        self._record(
+            "fallback", job, detail=f"{job.backend.name} -> {cand.name} after {reason}"
+        )
+        state.tried.append(cand.name)
+        job.backend = cand
+        job.affine = bool(
+            cand.capabilities.affine and job.is_clifford and job.noise is None
+        )
+        state.failures = 0
+        state.crashes = 0
+        # the value will come from a different backend than the cache key
+        # names: usable for this run, but never stored cross-run
+        self.degraded.add(job.key)
+        return True
+
+    def _handle_failure(self, state: _JobState, exc: BaseException) -> float:
+        """Policy decision after a raised backend exception.
+
+        Returns the backoff delay before resubmission, or raises when the
+        policy says the run is over.
+        """
+        job = state.job
+        if self.policy == "raise":
+            raise BackendExecutionError(
+                f"backend raised while simulating a variant: {exc!r}",
+                **self._context(state),
+            ) from exc
+        state.failures += 1
+        detail = f"{type(exc).__name__}: {exc}"
+        if state.failures <= self.ev.max_retries:
+            self._record("retry", job, detail=detail)
+            return self._backoff(state.failures)
+        if self.policy == "degrade" and self._fall_back(state, detail):
+            return 0.0
+        raise BackendExecutionError(
+            f"retries exhausted: {exc!r}", **self._context(state)
+        ) from exc
+
+    def _handle_timeout(self, state: _JobState) -> float:
+        """Policy decision after a job exceeded its soft deadline."""
+        job = state.job
+        if self.policy == "raise":
+            raise JobTimeoutError(
+                "variant exceeded its soft deadline",
+                timeout=job.timeout,
+                **self._context(state),
+            )
+        state.failures += 1
+        if state.failures <= self.ev.max_retries:
+            self._record(
+                "timeout", job, detail=f"soft deadline {job.timeout:.3g}s exceeded"
+            )
+            return self._backoff(state.failures)
+        if self.policy == "degrade" and self._fall_back(state, "repeated soft-timeouts"):
+            return 0.0
+        raise JobTimeoutError(
+            "soft deadline exceeded and retries exhausted",
+            timeout=job.timeout,
+            **self._context(state),
+        )
+
+    def _handle_crash(self, state: _JobState, detail: str) -> float:
+        """Policy decision after a worker crashed with this job in flight."""
+        job = state.job
+        if self.policy == "raise":
+            raise WorkerCrashError(
+                f"worker crashed with this job in flight ({detail})",
+                **self._context(state),
+            )
+        state.crashes += 1
+        self._record("crash", job, detail=detail)
+        if state.crashes <= self.ev.max_job_crashes:
+            return self._backoff(state.crashes)
+        self._record(
+            "quarantine",
+            job,
+            detail=f"{state.crashes} crashes with this job in flight",
+        )
+        if self.policy == "degrade" and self._fall_back(
+            state, f"{state.crashes} worker crashes"
+        ):
+            return 0.0
+        raise WorkerCrashError(
+            f"job quarantined after {state.crashes} worker crashes ({detail})",
+            **self._context(state),
+        )
+
+    # -- serial path ----------------------------------------------------------
+
+    def run_serial(self) -> dict[tuple, VariantData]:
+        for job in self.jobs:
+            state = self.states[job.key]
+            while True:
+                job.attempt = state.failures + state.crashes
+                start = time.monotonic()
+                try:
+                    value = _execute_job(job)
+                except Exception as exc:
+                    if _is_simulated_crash(exc):
+                        delay = self._handle_crash(
+                            state, f"{type(exc).__name__}: {exc}"
+                        )
+                    else:
+                        delay = self._handle_failure(state, exc)
+                    if delay:
+                        time.sleep(delay)
+                    continue
+                elapsed = time.monotonic() - start
+                if job.timeout is not None and elapsed > job.timeout:
+                    # serial execution cannot interrupt a running job; the
+                    # result exists, so keep it and record the miss
+                    self._record(
+                        "timeout",
+                        job,
+                        detail=(
+                            f"completed late: {elapsed:.3g}s > "
+                            f"{job.timeout:.3g}s soft deadline (serial)"
+                        ),
+                    )
+                self.results[job.key] = value
+                break
+        return self.results
+
+    # -- parallel path --------------------------------------------------------
+
+    def _make_executor(self):
+        if self.pool == "process":
+            from concurrent.futures import ProcessPoolExecutor
+
+            return ProcessPoolExecutor(max_workers=self.workers)
+        from concurrent.futures import ThreadPoolExecutor
+
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+    def _push(self, job: _Job, delay: float = 0.0) -> None:
+        self._seq += 1
+        ready = time.monotonic() + delay if delay > 0 else 0.0
+        heapq.heappush(self.pending, (ready, self._seq, job))
+
+    def _submit(self, job: _Job, now: float) -> None:
+        state = self.states[job.key]
+        job.attempt = state.failures + state.crashes
+        job.in_process = self.pool == "process"
+        fut = self.executor.submit(_execute_job, job)
+        deadline = None if job.timeout is None else now + job.timeout
+        self.inflight[fut] = (job, deadline)
+
+    def _fill(self, now: float) -> None:
+        # bound in-flight submissions by the worker count so a deadline
+        # measures run time, not time spent queued behind other jobs
+        while self.pending and len(self.inflight) < self.workers:
+            ready, _seq, job = self.pending[0]
+            if ready > now:
+                break
+            heapq.heappop(self.pending)
+            self._submit(job, now)
+
+    def _next_wakeup(self, now: float) -> float | None:
+        """Seconds until the next retry is ready or deadline expires."""
+        candidates = []
+        if self.pending:
+            candidates.append(self.pending[0][0] - now)
+        for _job, deadline in self.inflight.values():
+            if deadline is not None:
+                candidates.append(deadline - now)
+        if not candidates:
+            return None
+        return max(0.0, min(candidates)) + 0.01
+
+    def _rebuild_pool(self, detail: str, penalize: bool) -> None:
+        """Replace the executor, harvesting and resubmitting in-flight work.
+
+        ``penalize=True`` (the pool *broke*) charges every unfinished
+        in-flight job one crash; ``penalize=False`` (we chose to rebuild,
+        e.g. to kill a hung worker) resubmits them for free.
+        """
+        survivors: list[_Job] = []
+        for fut, (job, _deadline) in list(self.inflight.items()):
+            if fut.done() and not fut.cancelled():
+                try:
+                    self.results[job.key] = fut.result()
+                    continue  # finished before the break: harvest it
+                except Exception:
+                    pass
+            survivors.append(job)
+        self.inflight.clear()
+        self.ev.faults.record("pool_rebuild", detail=detail)
+        if self.shared is not None:
+            rebuild = getattr(self.shared, "rebuild", None)
+            if rebuild is not None:
+                self.executor = rebuild()
+            else:
+                # a raw shared executor cannot be replaced: finish this
+                # batch on a private pool instead
+                self.own_executor = True
+                self.shared = None
+                self.executor = self._make_executor()
+        else:
+            try:
+                self.executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self.executor = self._make_executor()
+        for job in survivors:
+            if penalize:
+                delay = self._handle_crash(self.states[job.key], detail)
+                self._push(job, delay)
+            else:
+                self._push(job)
+
+    def _sweep_deadlines(self) -> None:
+        now = time.monotonic()
+        expired = [
+            (fut, job)
+            for fut, (job, deadline) in self.inflight.items()
+            if deadline is not None and now >= deadline and not fut.done()
+        ]
+        if not expired:
+            return
+        for fut, job in expired:
+            self.inflight.pop(fut, None)
+            fut.cancel()  # thread futures survive this; it is best-effort
+            delay = self._handle_timeout(self.states[job.key])
+            self._push(job, delay)
+        if self.pool == "process":
+            # a hung process worker cannot be interrupted from here: the
+            # only way to reclaim it is to rebuild the whole pool (the
+            # innocent in-flight jobs are resubmitted without penalty)
+            self._rebuild_pool(
+                detail="rebuilt to kill a worker hung past its soft deadline",
+                penalize=False,
+            )
+
+    def _abort_cleanup(self) -> None:
+        for fut in list(self.inflight):
+            fut.cancel()
+        self.inflight.clear()
+        if self.own_executor and self.executor is not None:
+            self.executor.shutdown(wait=False, cancel_futures=True)
+            self.executor = None
+        elif self.shared is not None and getattr(self.executor, "_broken", False):
+            # leave the shared pool usable for the caller's next batch point
+            rebuild = getattr(self.shared, "rebuild", None)
+            if rebuild is not None:
+                rebuild()
+
+    def run_parallel(self) -> dict[tuple, VariantData]:
+        if self.shared is not None:
+            self.executor = getattr(self.shared, "executor", self.shared)
+        else:
+            self.executor = self._make_executor()
+        for job in self.jobs:
+            self._push(job)
+        try:
+            while self.pending or self.inflight:
+                now = time.monotonic()
+                self._fill(now)
+                wakeup = self._next_wakeup(now)
+                done = set()
+                if self.inflight:
+                    done, _ = wait(
+                        list(self.inflight),
+                        timeout=wakeup,
+                        return_when=FIRST_COMPLETED,
+                    )
+                elif wakeup:
+                    time.sleep(wakeup)
+                for fut in done:
+                    entry = self.inflight.pop(fut, None)
+                    if entry is None:
+                        continue
+                    job, deadline = entry
+                    state = self.states[job.key]
+                    try:
+                        value = fut.result()
+                    except CancelledError:
+                        self._push(job)
+                        continue
+                    except BrokenExecutor as exc:
+                        # the pool is gone: every other done future would
+                        # raise the same error, so heal once and restart
+                        # the drain loop on the fresh pool
+                        self.inflight[fut] = (job, deadline)
+                        self._rebuild_pool(
+                            detail=f"{type(exc).__name__}: {exc}", penalize=True
+                        )
+                        break
+                    except Exception as exc:
+                        if _is_simulated_crash(exc):
+                            delay = self._handle_crash(
+                                state, f"{type(exc).__name__}: {exc}"
+                            )
+                        else:
+                            delay = self._handle_failure(state, exc)
+                        self._push(job, delay)
+                        continue
+                    self.results[job.key] = value
+                self._sweep_deadlines()
+        except BaseException:
+            self._abort_cleanup()
+            raise
+        finally:
+            if self.own_executor and self.executor is not None:
+                self.executor.shutdown(wait=True)
+        return self.results
 
 
 class FragmentEvaluator:
@@ -195,6 +754,15 @@ class FragmentEvaluator:
         assignments: dict[int, Backend] | None = None,
         executor=None,
         executor_kind: str | None = None,
+        failure_policy: str = "raise",
+        max_retries: int = 3,
+        retry_backoff: float = 0.05,
+        retry_backoff_cap: float = 2.0,
+        job_timeout: float | None = None,
+        timeout_safety: float = 25.0,
+        min_job_timeout: float = 5.0,
+        max_job_crashes: int = 3,
+        chaos=None,
     ):
         from repro.backends import as_backend, get_backend
 
@@ -209,6 +777,23 @@ class FragmentEvaluator:
                 f"pool must be 'thread', 'process' or None, got {pool!r}"
             )
         self.pool = pool
+        if failure_policy not in ("raise", "retry", "degrade"):
+            raise ValueError(
+                "failure_policy must be 'raise', 'retry' or 'degrade', "
+                f"got {failure_policy!r}"
+            )
+        self.failure_policy = failure_policy
+        self.max_retries = max(0, int(max_retries))
+        self.retry_backoff = float(retry_backoff)
+        self.retry_backoff_cap = float(retry_backoff_cap)
+        self.job_timeout = job_timeout
+        self.timeout_safety = float(timeout_safety)
+        self.min_job_timeout = float(min_job_timeout)
+        self.max_job_crashes = max(1, int(max_job_crashes))
+        self.chaos = chaos
+        #: faults survived across this evaluator's evaluate_all calls
+        self.faults = FaultReport()
+        self._last_degraded: set[tuple] = set()
         if router is None:
             from repro.backends import default_backend_pool
 
@@ -264,6 +849,15 @@ class FragmentEvaluator:
             assignments=assignments,
             executor=executor,
             executor_kind=executor_kind,
+            failure_policy=execution.failure_policy,
+            max_retries=execution.max_retries,
+            retry_backoff=execution.retry_backoff,
+            retry_backoff_cap=execution.retry_backoff_cap,
+            job_timeout=execution.job_timeout,
+            timeout_safety=execution.timeout_safety,
+            min_job_timeout=execution.min_job_timeout,
+            max_job_crashes=execution.max_job_crashes,
+            chaos=execution.chaos,
         )
 
     # -- routing --------------------------------------------------------------
@@ -298,6 +892,29 @@ class FragmentEvaluator:
             return self.nonclifford_backend, False
         return self.router.select(features, exact=exact), False
 
+    def _job_timeout(
+        self, backend: Backend, features: CircuitFeatures, noisy: bool
+    ) -> float | None:
+        """Soft deadline for one variant job, in seconds (``None`` = none).
+
+        An explicit ``job_timeout`` wins.  Otherwise a deadline is derived
+        from the calibrated cost model — scored cost is (roughly) predicted
+        seconds once ``cost_scales`` are measured — times the
+        ``timeout_safety`` factor, floored at ``min_job_timeout``.  Without
+        a calibration entry for this backend the model's units are
+        arbitrary and no deadline can honestly be derived.
+        """
+        if self.job_timeout is not None:
+            return self.job_timeout
+        if backend.name not in self.router.cost_scales:
+            return None
+        mode = "exact" if (self.shots is None and not noisy) else "sampled"
+        try:
+            cost = float(self.router.scored_cost(backend, features, mode))
+        except Exception:
+            return None
+        return max(self.min_job_timeout, cost * self.timeout_safety)
+
     # -- batch engine ---------------------------------------------------------
 
     def _build_jobs(self, fragments: list[Fragment], root_seed: int):
@@ -318,6 +935,8 @@ class FragmentEvaluator:
         noise_key = noise_fingerprint(self.noise)
         for index, fragment in enumerate(fragments):
             backend, noisy = self._backend_for(fragment)
+            features = CircuitFeatures.from_circuit(fragment.circuit)
+            timeout = self._job_timeout(backend, features, noisy)
             if self.shots is None:
                 # exact mode is exact for every fragment; clifford_shots
                 # only rebalances *sampled* evaluation
@@ -344,7 +963,18 @@ class FragmentEvaluator:
                 assignments.append((index, preps, bases, key))
                 if key not in unique:
                     unique[key] = _Job(
-                        key, backend, circuit, eff_shots, seed, noise, use_affine
+                        key,
+                        backend,
+                        circuit,
+                        eff_shots,
+                        seed,
+                        noise,
+                        use_affine,
+                        fragment_index=index,
+                        features=features,
+                        is_clifford=fragment.is_clifford,
+                        timeout=timeout,
+                        chaos=self.chaos,
                     )
         return assignments, unique
 
@@ -358,11 +988,11 @@ class FragmentEvaluator:
         the root seed and the variant fingerprint, so results are
         bit-for-bit identical at any worker count.  Numpy-kernel backends
         keep the thread pool (and stay serial unless ``parallel`` > 1).
-        Each deduplicated job's circuit payload is pickled exactly once —
-        the batch is chunked across workers, and the variant cache has
-        already removed duplicate circuits.
+        Execution goes through the :class:`_JobScheduler`, which owns the
+        retry / timeout / crash-healing / fallback policy.
         """
         if not jobs:
+            self._last_degraded = set()
             return {}
         import os
 
@@ -388,34 +1018,41 @@ class FragmentEvaluator:
             if method == "fork":
                 workers = os.cpu_count() or 1
         workers = min(workers, len(jobs))
+        handle = self.executor
+        kind = self.executor_kind
+        if handle is not None and hasattr(handle, "rebuild"):
+            # a SharedExecutorPool-style rebuildable handle
+            kind = getattr(handle, "kind", kind)
         shared = (
-            self.executor is not None
+            handle is not None
             and len(jobs) > 1
-            and (self.executor_kind is None or self.executor_kind == pool)
+            and (kind is None or kind == pool)
         )
-        self.last_stats["pool"] = (
-            self.executor_kind or pool if shared else pool
-        )
-        self.last_stats["workers"] = workers
+        self.last_stats["pool"] = kind or pool if shared else pool
         if shared:
             # a long-lived executor shared across runs (sweep batches);
             # only taken when its kind matches the jobs' resolved pool, so
-            # process-preferring backends never silently land on threads
-            values = list(self.executor.map(_execute_job, jobs))
-        elif workers > 1 and len(jobs) > 1:
-            if pool == "process":
-                from concurrent.futures import ProcessPoolExecutor as Executor
-            else:
-                from concurrent.futures import ThreadPoolExecutor as Executor
-
-            chunksize = max(1, len(jobs) // (workers * 4)) if pool == "process" else 1
-            with Executor(max_workers=workers) as executor:
-                values = list(
-                    executor.map(_execute_job, jobs, chunksize=chunksize)
-                )
+            # process-preferring backends never silently land on threads.
+            # The in-flight bound follows the shared pool's actual width.
+            workers = (
+                getattr(handle, "workers", None)
+                or getattr(handle, "_max_workers", None)
+                or max(workers, 1)
+            )
+        self.last_stats["workers"] = workers
+        scheduler = _JobScheduler(
+            self,
+            jobs,
+            pool=pool,
+            workers=workers,
+            shared=handle if shared else None,
+        )
+        if shared or (workers > 1 and len(jobs) > 1):
+            values = scheduler.run_parallel()
         else:
-            values = [_execute_job(job) for job in jobs]
-        return {job.key: value for job, value in zip(jobs, values)}
+            values = scheduler.run_serial()
+        self._last_degraded = set(scheduler.degraded)
+        return values
 
     def dry_run(self, fragments: list[Fragment]) -> dict:
         """Plan the job batch without simulating anything.
@@ -471,7 +1108,13 @@ class FragmentEvaluator:
         computed = self._run_jobs(list(unique.values()))
         if self.cache is not None:
             for key, value in computed.items():
+                if key in self._last_degraded:
+                    # computed by a fallback backend: valid for this run,
+                    # but the key names the original backend's token, so a
+                    # cross-run cache hit would lie about its provenance
+                    continue
                 self.cache.put(key, value)
+        self.last_stats["faults"] = self.faults
         computed.update(cached)
         per_fragment: list[dict] = [{} for _ in fragments]
         for index, preps, bases, key in assignments:

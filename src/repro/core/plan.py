@@ -211,11 +211,29 @@ class ExecutionPlan:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """One completed point of a :meth:`SuperSim.sweep`."""
+    """One point of a :meth:`SuperSim.sweep`.
+
+    ``result`` is the point's ``SuperSimResult`` — or ``None`` when the
+    point did not produce one: under ``failure_policy="retry"`` /
+    ``"degrade"`` a point whose execution still failed is yielded with
+    the exception in ``error`` instead of aborting the sweep, and a point
+    already recorded in the sweep's checkpoint file is yielded with
+    ``skipped=True``.  ``degradation`` names any quality compromise the
+    batch layer made for this point (currently: the reused cut set did
+    not transfer and the point was re-planned from scratch).
+    """
 
     index: int
     params: object
-    result: object  # SuperSimResult
+    result: object  # SuperSimResult | None
+    error: object = None  # the exception, for failed points
+    skipped: bool = False  # already completed per the checkpoint file
+    degradation: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Did this point produce a result in this sweep?"""
+        return self.result is not None
 
     @property
     def distribution(self):

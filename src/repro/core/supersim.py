@@ -59,8 +59,9 @@ from repro.core.config import (
     configs_from_legacy_kwargs,
 )
 from repro.core.cutter import plan_cuts
-from repro.core.evaluator import FragmentEvaluator
+from repro.core.evaluator import FragmentEvaluator, SharedExecutorPool
 from repro.core.fragments import Cut, CutCircuit
+from repro.errors import FaultReport
 from repro.core.plan import CostEstimate, ExecutionPlan, FragmentPlan, SweepResult
 from repro.core.reconstruction import (
     ReconstructionStats,
@@ -93,6 +94,13 @@ class SuperSimResult:
     variants actually *simulated* per backend name this run (cache hits
     and within-run duplicates excluded, so a fully cached run reports an
     empty mapping).
+
+    ``faults`` is the run's :class:`~repro.errors.FaultReport` — every
+    fault the engine survived on the way to this result (retries,
+    soft-timeouts, worker crashes, pool rebuilds, degrade-mode backend
+    fallbacks, kernel-tier demotions).  A clean run has
+    ``bool(result.faults) is False``; faults never change the numbers,
+    only how much work it took to get them.
     """
 
     distribution: Distribution
@@ -102,6 +110,7 @@ class SuperSimResult:
     raw_distribution: Distribution | None = None
     backend_usage: dict[str, int] = field(default_factory=dict)
     kernel_tier: str = "numpy"
+    faults: FaultReport = field(default_factory=FaultReport)
 
     def __post_init__(self):
         for stage in STAGES:
@@ -483,7 +492,19 @@ class SuperSim:
         cc = plan.cut_circuit
         timings: dict[str, float] = {"cut": plan.planning_seconds}
         kernel_snapshot = _kernels.counters_snapshot()
+        demotions_before = len(_kernels.demotions())
         assignments = {f.index: b for f, b in zip(cc.fragments, plan._backends)}
+
+        def collect_faults(evaluator) -> FaultReport:
+            # the evaluator's ledger plus any kernel-tier demotions that
+            # happened anywhere in this run (evaluate through reconstruct)
+            faults = FaultReport()
+            faults.extend(evaluator.faults)
+            for kname, tier, err in _kernels.demotions()[demotions_before:]:
+                faults.record(
+                    "kernel_demotion", detail=f"kernel {kname} [{tier}]: {err}"
+                )
+            return faults
 
         start = time.perf_counter()
         evaluator = self._evaluator(assignments=assignments)
@@ -531,6 +552,7 @@ class SuperSim:
                 raw_distribution=raw,
                 backend_usage=backend_usage,
                 kernel_tier=_kernels.active_tier(),
+                faults=collect_faults(evaluator),
             )
 
         if mode == "windowed":
@@ -592,6 +614,7 @@ class SuperSim:
             raw_distribution=raw,
             backend_usage=backend_usage,
             kernel_tier=_kernels.active_tier(),
+            faults=collect_faults(evaluator),
         )
 
     # -- main entry points --------------------------------------------------------
@@ -614,6 +637,7 @@ class SuperSim:
         param_grid,
         keep_qubits: list[int] | None = None,
         reuse_cuts: bool = True,
+        checkpoint=None,
     ):
         """Stream results of ``circuit_factory`` over a parameter grid.
 
@@ -644,30 +668,98 @@ class SuperSim:
         independent run would plan at those points.  Pass
         ``reuse_cuts=False`` to re-plan every point and recover
         unconditional equivalence.
+
+        A point whose shared cut set does not transfer is re-planned from
+        scratch — no longer silently: its :class:`SweepResult` carries a
+        ``degradation`` note and the result's fault report a ``replan``
+        event.  Under ``failure_policy="retry"`` / ``"degrade"`` a point
+        that still fails after the engine's own fault tolerance yields
+        ``SweepResult(result=None, error=exc)`` instead of killing the
+        sweep (``"raise"``, the default, propagates as before).
+
+        ``checkpoint`` names a JSON-lines file recording completed point
+        indices: each successful point appends one line, and a re-run with
+        the same file skips those points (yielding ``skipped=True``
+        records) — resuming an interrupted sweep re-simulates only what
+        never finished.  Results themselves are not persisted; re-running
+        a completed point is what the checkpoint avoids.
         """
+        import json
+        from pathlib import Path
+
         from repro.backends.router import NoCapableBackendError
 
+        completed: set[int] = set()
+        checkpoint_path = None
+        if checkpoint is not None:
+            checkpoint_path = Path(checkpoint)
+            if checkpoint_path.exists():
+                for line in checkpoint_path.read_text().splitlines():
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        completed.add(int(json.loads(line)["index"]))
+                    except (ValueError, KeyError, TypeError):
+                        warnings.warn(
+                            f"ignoring malformed checkpoint line in "
+                            f"{checkpoint_path}: {line!r}",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+
+        tolerate = self.execution.failure_policy != "raise"
         with self._batch_pool():
             shared_cuts: list[Cut] | None = None
             for index, params in enumerate(param_grid):
-                circuit = _call_factory(circuit_factory, params)
-                plan = None
-                if reuse_cuts and shared_cuts:
-                    try:
-                        plan = self.plan(
-                            circuit, keep_qubits=keep_qubits, cuts=shared_cuts
-                        )
-                    except (ValueError, NoCapableBackendError):
-                        plan = None  # cuts do not transfer: search afresh
-                if plan is None:
-                    plan = self.plan(circuit, keep_qubits=keep_qubits)
-                    if not shared_cuts and plan.cut_circuit.cuts:
-                        # adopt the first *non-empty* cut set: an
-                        # all-Clifford grid point finds no cuts, and an
-                        # empty set must not pin later points to uncut
-                        # whole-circuit evaluation
-                        shared_cuts = list(plan.cut_circuit.cuts)
-                yield SweepResult(index=index, params=params, result=plan.execute())
+                if index in completed:
+                    yield SweepResult(
+                        index=index, params=params, result=None, skipped=True
+                    )
+                    continue
+                degradation: str | None = None
+                try:
+                    circuit = _call_factory(circuit_factory, params)
+                    plan = None
+                    if reuse_cuts and shared_cuts:
+                        try:
+                            plan = self.plan(
+                                circuit, keep_qubits=keep_qubits, cuts=shared_cuts
+                            )
+                        except (ValueError, NoCapableBackendError) as exc:
+                            # cuts do not transfer: search afresh, and say so
+                            degradation = (
+                                "shared cut set did not transfer "
+                                f"({type(exc).__name__}: {exc}); re-planned "
+                                "from scratch"
+                            )
+                    if plan is None:
+                        plan = self.plan(circuit, keep_qubits=keep_qubits)
+                        if not shared_cuts and plan.cut_circuit.cuts:
+                            # adopt the first *non-empty* cut set: an
+                            # all-Clifford grid point finds no cuts, and an
+                            # empty set must not pin later points to uncut
+                            # whole-circuit evaluation
+                            shared_cuts = list(plan.cut_circuit.cuts)
+                    result = plan.execute()
+                except Exception as exc:
+                    if not tolerate:
+                        raise
+                    yield SweepResult(
+                        index=index, params=params, result=None, error=exc
+                    )
+                    continue
+                if degradation is not None:
+                    result.faults.record("replan", detail=degradation)
+                if checkpoint_path is not None:
+                    with checkpoint_path.open("a") as fh:
+                        fh.write(json.dumps({"index": index}) + "\n")
+                yield SweepResult(
+                    index=index,
+                    params=params,
+                    result=result,
+                    degradation=degradation,
+                )
 
     def run_many(
         self,
@@ -681,10 +773,28 @@ class SuperSim:
         assumed — each circuit gets its own cut search — but identical
         fragment variants across circuits still deduplicate through the
         shared cache.
+
+        Under ``failure_policy="retry"`` / ``"degrade"`` a circuit that
+        still fails after the engine's own fault tolerance yields ``None``
+        in its slot (with a warning naming the error) instead of aborting
+        the batch; the default ``"raise"`` policy propagates immediately.
         """
+        tolerate = self.execution.failure_policy != "raise"
         with self._batch_pool():
-            for circuit in circuits:
-                yield self.plan(circuit, keep_qubits=keep_qubits).execute()
+            for index, circuit in enumerate(circuits):
+                try:
+                    yield self.plan(circuit, keep_qubits=keep_qubits).execute()
+                except Exception as exc:
+                    if not tolerate:
+                        raise
+                    warnings.warn(
+                        f"run_many circuit {index} failed after fault "
+                        f"tolerance ({type(exc).__name__}: {exc}); yielding "
+                        "None for this slot",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    yield None
 
     def _batch_pool(self):
         """Context: one long-lived executor spanning a whole batch.
@@ -692,33 +802,29 @@ class SuperSim:
         Only engaged when ``execution.parallel > 1``; the executor kind
         follows ``execution.pool`` (``None`` defaults to threads — the
         built-in backends all release the GIL in their kernels).  Nested
-        batches reuse the outermost executor.
+        batches reuse the outermost executor.  The pool is held through a
+        rebuildable :class:`~repro.core.evaluator.SharedExecutorPool`
+        handle, so the fault-tolerant scheduler can replace a broken
+        process pool mid-batch without losing the sharing.
         """
         import contextlib
 
         if self.execution.parallel <= 1 or self._batch_executor is not None:
             return contextlib.nullcontext()
 
-        if self.execution.pool == "process":
-            from concurrent.futures import ProcessPoolExecutor as Executor
-
-            kind = "process"
-        else:
-            from concurrent.futures import ThreadPoolExecutor as Executor
-
-            kind = "thread"
+        kind = "process" if self.execution.pool == "process" else "thread"
 
         @contextlib.contextmanager
         def pool():
-            executor = Executor(max_workers=self.execution.parallel)
-            self._batch_executor = executor
+            handle = SharedExecutorPool(kind, self.execution.parallel)
+            self._batch_executor = handle
             self._batch_executor_kind = kind
             try:
-                yield executor
+                yield handle
             finally:
                 self._batch_executor = None
                 self._batch_executor_kind = None
-                executor.shutdown()
+                handle.shutdown()
 
         return pool()
 

@@ -40,6 +40,7 @@ from repro.kernels.registry import (
     all_kernels,
     available_tiers,
     counters_snapshot,
+    demotions,
     get_kernel,
     get_kernel_tier,
     set_kernel_tier,
@@ -63,6 +64,7 @@ __all__ = [
     "all_kernels",
     "available_tiers",
     "counters_snapshot",
+    "demotions",
     "get_kernel",
     "get_kernel_tier",
     "set_kernel_tier",

@@ -65,6 +65,22 @@ class Kernel:
         start = time.perf_counter()
         try:
             return impl(*args, **kwargs)
+        except Exception as exc:
+            reference = self.impls["numpy"]
+            if impl is reference:
+                raise
+            # An accelerated variant faulted (JIT failure, device error,
+            # driver loss).  Re-run on the NumPy reference: if that also
+            # raises, the inputs were bad — propagate the original error
+            # and keep the variant; if it succeeds, the variant itself is
+            # broken — demote this kernel to NumPy for the rest of the
+            # process and record the demotion for fault reports.
+            try:
+                value = reference(*args, **kwargs)
+            except Exception:
+                raise exc from None
+            _demote(self, _ACTIVE, exc)
+            return value
         finally:
             self.seconds += time.perf_counter() - start
             self.calls += 1
@@ -74,6 +90,32 @@ class Kernel:
 
 
 _KERNELS: dict[str, Kernel] = {}
+
+#: per-process log of (kernel name, tier, error repr) demotions, in order
+_DEMOTIONS: list[tuple[str, str, str]] = []
+
+
+def _demote(entry: Kernel, tier: str, exc: Exception) -> None:
+    """Drop a faulting accelerated variant; future calls use NumPy."""
+    entry.impls.pop(tier, None)
+    _DEMOTIONS.append((entry.name, tier, f"{type(exc).__name__}: {exc}"))
+    warnings.warn(
+        f"kernel {entry.name!r} {tier} variant faulted "
+        f"({type(exc).__name__}: {exc}); demoted to the NumPy reference "
+        "for the rest of this process",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def demotions() -> tuple[tuple[str, str, str], ...]:
+    """Accelerated-variant demotions so far: (kernel, tier, error) tuples.
+
+    Callers that want only *new* demotions (the ``SuperSim`` execute
+    stage attributing them to one run's fault report) snapshot
+    ``len(demotions())`` before and slice after.
+    """
+    return tuple(_DEMOTIONS)
 
 
 def kernel(name: str):

@@ -1,0 +1,22 @@
+"""Testing utilities that ship with the library.
+
+:mod:`repro.testing.chaos` — the deterministic fault-injection harness
+(seeded exception / delay / worker-crash schedules, and the
+:class:`~repro.testing.chaos.ChaosBackend` persistent-failure wrapper)
+that the chaos test suite and future distributed-service soak tests
+drive against the fault-tolerant execution engine.
+"""
+
+from repro.testing.chaos import (
+    ChaosBackend,
+    ChaosSchedule,
+    InjectedFault,
+    SimulatedWorkerCrash,
+)
+
+__all__ = [
+    "ChaosBackend",
+    "ChaosSchedule",
+    "InjectedFault",
+    "SimulatedWorkerCrash",
+]

@@ -1,0 +1,521 @@
+"""Chaos suite: the fault-tolerant engine under deterministic fault injection.
+
+The engine's headline invariant — seeded results bit-for-bit identical at
+any parallelism — must hold *under* injected faults, not just without
+them.  Every test here drives the real scheduler paths (retry/backoff,
+soft timeouts, worker-crash healing, degrade-mode backend fallback,
+per-point sweep survival) with a seeded :class:`ChaosSchedule` and
+asserts both the numbers (identical to a fault-free run) and the
+accounting (``result.faults`` explains every injected fault).
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.circuits import gates
+from repro.circuits.circuit import Circuit
+from repro.core import (
+    BackendExecutionError,
+    ExecutionConfig,
+    ReconstructionConfig,
+    SamplingConfig,
+    SuperSim,
+    WorkerCrashError,
+)
+from repro.testing import ChaosBackend, ChaosSchedule, InjectedFault
+
+#: CI's chaos leg sets REPRO_CHAOS_POOL=process to re-run this suite with
+#: process pools as the engine default, so real worker crashes and pool
+#: rebuilds are exercised on every commit; unset, tests run serially
+#: unless they pin a pool themselves.
+CHAOS_POOL = os.environ.get("REPRO_CHAOS_POOL")
+
+
+def execution(**kwargs) -> ExecutionConfig:
+    """An ExecutionConfig honouring the suite-wide pool override.
+
+    Tests that *depend* on a specific pool construct ExecutionConfig
+    directly instead.
+    """
+    if CHAOS_POOL and "pool" not in kwargs:
+        kwargs["pool"] = CHAOS_POOL
+        kwargs.setdefault("parallel", 2)
+    return ExecutionConfig(**kwargs)
+
+
+def rotated_chain(t: float, n: int = 8) -> Circuit:
+    c = Circuit(n)
+    for i in range(n):
+        c.append(gates.H, i)
+    for i in range(n - 1):
+        c.append(gates.CX, i, i + 1)
+    c.append(gates.ZPow(t), n // 2)
+    c.measure_all()
+    return c
+
+
+def wide_chain(n: int) -> Circuit:
+    """GHZ chain with one XPow(1/4): 4-outcome support at any width."""
+    circuit = Circuit(n).append(gates.H, 0)
+    for q in range(n - 1):
+        circuit.append(gates.CX, q, q + 1)
+    circuit.append(gates.XPow(0.25), n // 2)
+    return circuit
+
+
+def assert_no_leaked_workers(grace: float = 10.0) -> None:
+    """Every worker process must exit shortly after its pool shut down."""
+    deadline = time.monotonic() + grace
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
+
+
+class TestChaosSchedule:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            ChaosSchedule(exception_rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosSchedule(exception_rate=0.6, delay_rate=0.3, crash_rate=0.3)
+        with pytest.raises(ValueError):
+            ChaosSchedule(delay_seconds=-1.0)
+
+    def test_schedule_is_deterministic_and_converges(self):
+        sch = ChaosSchedule(seed=3, exception_rate=0.5, fail_attempts=2)
+        fp = "ab" * 32
+        assert sch.action_for(fp, 0) == sch.action_for(fp, 0)
+        # injections stop at fail_attempts, so retries always converge
+        assert sch.action_for(fp, 2) is None
+
+    def test_only_backends_restricts_injection(self):
+        sch = ChaosSchedule(seed=0, exception_rate=1.0, only_backends=("mps",))
+        fp = "cd" * 32
+        assert sch.action_for(fp, 0, backend="mps") is not None
+        assert sch.action_for(fp, 0, backend="stabilizer") is None
+
+    def test_perform_action_raises_injected_fault(self):
+        from repro.testing.chaos import perform_action
+
+        with pytest.raises(InjectedFault):
+            perform_action(("raise", "boom"))
+
+
+class TestExecutionConfigValidation:
+    def test_bad_failure_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(failure_policy="panic")
+
+    def test_bad_timeouts_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(job_timeout=0.0)
+        with pytest.raises(ValueError):
+            ExecutionConfig(max_job_crashes=0)
+
+
+class TestRetryDeterminism:
+    """failure_policy="retry": every fault survived, results untouched."""
+
+    def _clean(self, **sampling):
+        return SuperSim(sampling=SamplingConfig(**sampling)).run(rotated_chain(0.3))
+
+    def test_retries_account_for_every_injected_fault(self):
+        clean = self._clean(shots=400, seed=11)
+        chaos = ChaosSchedule(seed=5, exception_rate=1.0, fail_attempts=1)
+        sim = SuperSim(
+            sampling=SamplingConfig(shots=400, seed=11),
+            execution=execution(
+                failure_policy="retry", chaos=chaos, retry_backoff=0.0
+            ),
+        )
+        result = sim.run(rotated_chain(0.3))
+        assert result.distribution.probs == clean.distribution.probs
+        # every executed job faulted exactly once on its first attempt
+        assert result.faults.retries == result.cache_misses > 0
+        assert result.faults.summary() == {"retry": result.cache_misses}
+
+    def test_serial_thread_process_bit_identical_under_faults(self):
+        clean = self._clean(shots=400, seed=11)
+        chaos = ChaosSchedule(
+            seed=5,
+            exception_rate=0.5,
+            delay_rate=0.2,
+            delay_seconds=0.02,
+            fail_attempts=1,
+        )
+        configs = [
+            ExecutionConfig(failure_policy="retry", chaos=chaos, retry_backoff=0.0),
+            ExecutionConfig(
+                failure_policy="retry",
+                chaos=chaos,
+                retry_backoff=0.0,
+                pool="thread",
+                parallel=4,
+            ),
+            ExecutionConfig(
+                failure_policy="retry",
+                chaos=chaos,
+                retry_backoff=0.0,
+                pool="process",
+                parallel=2,
+            ),
+        ]
+        for execution in configs:
+            sim = SuperSim(
+                sampling=SamplingConfig(shots=400, seed=11), execution=execution
+            )
+            result = sim.run(rotated_chain(0.3))
+            assert result.distribution.probs == clean.distribution.probs
+        assert_no_leaked_workers()
+
+    def test_61q_recursive_run_identical_under_faults(self):
+        # the paper-scale acceptance case: a 61-qubit recursive
+        # reconstruction, bit-for-bit identical with faults injected on
+        # every executed variant
+        circuit = wide_chain(61)
+        rc = ReconstructionConfig(qubit_limit=16, top_k=16)
+        clean = SuperSim(reconstruction=rc).run(circuit)
+        chaos = ChaosSchedule(seed=7, exception_rate=1.0, fail_attempts=1)
+        sim = SuperSim(
+            reconstruction=rc,
+            execution=execution(
+                failure_policy="retry", chaos=chaos, retry_backoff=0.0
+            ),
+        )
+        result = sim.run(circuit)
+        assert result.distribution.probs == clean.distribution.probs
+        assert result.covered_probability == clean.covered_probability
+        assert result.faults.retries == result.cache_misses > 0
+        assert_no_leaked_workers()
+
+
+class TestTimeouts:
+    def test_soft_timeout_retries_and_converges(self):
+        clean = SuperSim(sampling=SamplingConfig(shots=400, seed=11)).run(
+            rotated_chain(0.3)
+        )
+        # every job sleeps past the deadline once, then runs clean
+        chaos = ChaosSchedule(
+            seed=5, delay_rate=1.0, delay_seconds=0.5, fail_attempts=1
+        )
+        sim = SuperSim(
+            sampling=SamplingConfig(shots=400, seed=11),
+            execution=ExecutionConfig(
+                failure_policy="retry",
+                chaos=chaos,
+                retry_backoff=0.0,
+                job_timeout=0.1,
+                pool="thread",
+                parallel=4,
+            ),
+        )
+        result = sim.run(rotated_chain(0.3))
+        assert result.distribution.probs == clean.distribution.probs
+        assert result.faults.timeouts > 0
+
+    def test_serial_records_accepted_late_results(self):
+        chaos = ChaosSchedule(
+            seed=5, delay_rate=1.0, delay_seconds=0.05, fail_attempts=1
+        )
+        sim = SuperSim(
+            sampling=SamplingConfig(shots=50, seed=3),
+            execution=ExecutionConfig(
+                failure_policy="retry", chaos=chaos, job_timeout=0.01
+            ),
+        )
+        result = sim.run(rotated_chain(0.3))
+        # serial execution cannot cancel: the late result is kept, the
+        # deadline miss is still on the ledger
+        assert result.faults.timeouts > 0
+        assert all(
+            "late" in e.detail for e in result.faults.of_kind("timeout")
+        )
+
+
+class TestWorkerCrashes:
+    def test_process_pool_self_heals_after_real_crashes(self):
+        clean = SuperSim(sampling=SamplingConfig(shots=400, seed=11)).run(
+            rotated_chain(0.3)
+        )
+        # some workers die for real (os._exit) on their first attempt
+        chaos = ChaosSchedule(seed=5, crash_rate=0.4, fail_attempts=1)
+        sim = SuperSim(
+            sampling=SamplingConfig(shots=400, seed=11),
+            execution=ExecutionConfig(
+                failure_policy="retry",
+                chaos=chaos,
+                retry_backoff=0.0,
+                pool="process",
+                parallel=2,
+            ),
+        )
+        result = sim.run(rotated_chain(0.3))
+        assert result.distribution.probs == clean.distribution.probs
+        assert result.faults.crashes > 0
+        assert result.faults.pool_rebuilds > 0
+        assert_no_leaked_workers()
+
+    def test_simulated_crashes_heal_on_thread_pools(self):
+        clean = SuperSim(sampling=SamplingConfig(shots=400, seed=11)).run(
+            rotated_chain(0.3)
+        )
+        chaos = ChaosSchedule(seed=5, crash_rate=0.4, fail_attempts=1)
+        sim = SuperSim(
+            sampling=SamplingConfig(shots=400, seed=11),
+            execution=ExecutionConfig(
+                failure_policy="retry",
+                chaos=chaos,
+                retry_backoff=0.0,
+                pool="thread",
+                parallel=4,
+            ),
+        )
+        result = sim.run(rotated_chain(0.3))
+        assert result.distribution.probs == clean.distribution.probs
+        assert result.faults.crashes > 0
+
+    def test_poison_job_is_quarantined(self):
+        # a job that crashes on *every* attempt is poison: after
+        # max_job_crashes crashes it must be quarantined, not retried
+        # forever
+        chaos = ChaosSchedule(seed=5, crash_rate=1.0, fail_attempts=10**9)
+        sim = SuperSim(
+            sampling=SamplingConfig(shots=50, seed=3),
+            execution=ExecutionConfig(
+                failure_policy="retry",
+                chaos=chaos,
+                retry_backoff=0.0,
+                max_job_crashes=2,
+            ),
+        )
+        with pytest.raises(WorkerCrashError) as excinfo:
+            sim.run(rotated_chain(0.3))
+        assert "quarantined" in str(excinfo.value)
+        assert excinfo.value.fragment_index is not None
+        assert excinfo.value.backend is not None
+
+
+class TestRaisePolicy:
+    def test_fail_fast_with_job_context(self):
+        chaos = ChaosSchedule(seed=5, exception_rate=1.0)
+        sim = SuperSim(
+            sampling=SamplingConfig(shots=50, seed=3),
+            execution=execution(chaos=chaos),  # failure_policy="raise"
+        )
+        with pytest.raises(BackendExecutionError) as excinfo:
+            sim.run(rotated_chain(0.3))
+        err = excinfo.value
+        assert err.fragment_index is not None
+        assert err.backend is not None
+        assert isinstance(err.__cause__, InjectedFault)
+
+
+class TestDegrade:
+    def test_mps_falls_back_to_statevector(self):
+        from repro.backends import BackendRouter, get_backend
+
+        # a persistently-down mps backend forced onto every fragment it
+        # admits; the only other capable backend in the pool is
+        # statevector, so degrade mode must land every variant there
+        dead_mps = ChaosBackend(
+            get_backend("mps"),
+            ChaosSchedule(seed=1, exception_rate=1.0, fail_attempts=10**9),
+        )
+        router = BackendRouter([dead_mps, get_backend("statevector")])
+        # the baseline runs the *fallback* backend directly: sampled
+        # results are a function of (circuit, backend, shots, seed), so a
+        # degrade run that lands on statevector must reproduce a clean
+        # statevector run bit-for-bit
+        clean = SuperSim(
+            sampling=SamplingConfig(shots=400, seed=11),
+            execution=ExecutionConfig(backend="statevector"),
+        ).run(rotated_chain(0.3))
+        sim = SuperSim(
+            sampling=SamplingConfig(shots=400, seed=11),
+            execution=execution(
+                failure_policy="degrade",
+                backend=dead_mps,
+                router=router,
+                max_retries=1,
+                retry_backoff=0.0,
+            ),
+        )
+        result = sim.run(rotated_chain(0.3))
+        assert result.distribution.probs == clean.distribution.probs
+        fallbacks = result.faults.of_kind("fallback")
+        assert fallbacks
+        assert all("mps -> statevector" in e.detail for e in fallbacks)
+
+    def test_degraded_results_stay_out_of_the_cache(self):
+        from repro.backends import BackendRouter, get_backend
+
+        dead_mps = ChaosBackend(
+            get_backend("mps"),
+            ChaosSchedule(seed=1, exception_rate=1.0, fail_attempts=10**9),
+        )
+        router = BackendRouter([dead_mps, get_backend("statevector")])
+        sim = SuperSim(
+            sampling=SamplingConfig(shots=400, seed=11),
+            execution=execution(
+                failure_policy="degrade",
+                backend=dead_mps,
+                router=router,
+                max_retries=0,
+                retry_backoff=0.0,
+            ),
+        )
+        first = sim.run(rotated_chain(0.3))
+        assert first.faults.fallbacks > 0
+        # a fallback-computed value must not satisfy the original
+        # backend's cache key on the next run
+        second = sim.run(rotated_chain(0.3))
+        assert second.cache_hits == 0
+        assert second.faults.fallbacks > 0
+
+    def test_degrade_exhausted_still_raises(self):
+        from repro.backends import BackendRouter, get_backend
+
+        dead_mps = ChaosBackend(
+            get_backend("mps"),
+            ChaosSchedule(seed=1, exception_rate=1.0, fail_attempts=10**9),
+        )
+        # no fallback candidates at all: degrade must surface the error
+        router = BackendRouter([dead_mps])
+        sim = SuperSim(
+            sampling=SamplingConfig(shots=50, seed=3),
+            execution=execution(
+                failure_policy="degrade",
+                backend=dead_mps,
+                router=router,
+                max_retries=0,
+                retry_backoff=0.0,
+            ),
+        )
+        with pytest.raises(BackendExecutionError):
+            sim.run(rotated_chain(0.3))
+
+
+class TestSweepSurvival:
+    GRID = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
+
+    def test_8_point_sweep_identical_under_faults(self):
+        sampling = SamplingConfig(shots=300, seed=11)
+        clean = list(SuperSim(sampling=sampling).sweep(rotated_chain, self.GRID))
+        chaos = ChaosSchedule(seed=5, exception_rate=1.0, fail_attempts=1)
+        chaotic = list(
+            SuperSim(
+                sampling=sampling,
+                execution=execution(
+                    failure_policy="retry", chaos=chaos, retry_backoff=0.0
+                ),
+            ).sweep(rotated_chain, self.GRID)
+        )
+        assert len(chaotic) == len(clean) == 8
+        for a, b in zip(clean, chaotic):
+            assert a.distribution.probs == b.distribution.probs
+            # every executed (non-cached) job of this point faulted once
+            assert b.result.faults.retries == b.result.cache_misses
+
+    def test_failed_point_yields_error_and_sweep_continues(self):
+        def factory(t):
+            if t == 0.2:
+                raise ValueError("bad grid point")
+            return rotated_chain(t)
+
+        sim = SuperSim(
+            sampling=SamplingConfig(shots=100, seed=3),
+            execution=execution(failure_policy="retry"),
+        )
+        points = list(sim.sweep(factory, [0.1, 0.2, 0.3]))
+        assert [p.ok for p in points] == [True, False, True]
+        assert isinstance(points[1].error, ValueError)
+        assert points[1].result is None
+
+    def test_failed_point_raises_under_default_policy(self):
+        def factory(t):
+            if t == 0.2:
+                raise ValueError("bad grid point")
+            return rotated_chain(t)
+
+        sim = SuperSim(sampling=SamplingConfig(shots=100, seed=3))
+        with pytest.raises(ValueError):
+            list(sim.sweep(factory, [0.1, 0.2, 0.3]))
+
+    def test_checkpoint_resume_skips_completed_points(self, tmp_path):
+        sampling = SamplingConfig(shots=200, seed=11)
+        reference = list(SuperSim(sampling=sampling).sweep(rotated_chain, self.GRID))
+        ckpt = tmp_path / "sweep.ckpt"
+
+        first = SuperSim(sampling=sampling)
+        partial = []
+        for point in first.sweep(rotated_chain, self.GRID, checkpoint=str(ckpt)):
+            partial.append(point)
+            if len(partial) == 3:
+                break  # interrupted mid-sweep
+
+        resumed = list(
+            SuperSim(sampling=sampling).sweep(
+                rotated_chain, self.GRID, checkpoint=str(ckpt)
+            )
+        )
+        assert [p.skipped for p in resumed] == [True] * 3 + [False] * 5
+        for ref, point in zip(reference[3:], resumed[3:]):
+            assert point.distribution.probs == ref.distribution.probs
+
+    def test_run_many_survives_failures(self):
+        circuits = [rotated_chain(0.1), "not a circuit", rotated_chain(0.3)]
+        sim = SuperSim(
+            sampling=SamplingConfig(shots=100, seed=3),
+            execution=execution(failure_policy="retry"),
+        )
+        with pytest.warns(RuntimeWarning, match="run_many circuit 1"):
+            results = list(sim.run_many(circuits))
+        assert results[1] is None
+        assert results[0] is not None and results[2] is not None
+
+
+class TestKernelDemotion:
+    def test_faulting_variant_demotes_to_numpy(self, monkeypatch):
+        from repro.kernels import registry
+
+        calls = {"n": 0}
+
+        @registry.kernel("chaos_test_kernel")
+        def chaos_test_kernel(x):
+            return x + 1
+
+        def broken(x):
+            calls["n"] += 1
+            raise RuntimeError("device lost")
+
+        entry = registry.get_kernel("chaos_test_kernel")
+        entry.impls["numba"] = broken
+        monkeypatch.setattr(registry, "_ACTIVE", "numba")
+        before = len(registry.demotions())
+        with pytest.warns(RuntimeWarning, match="demoted"):
+            assert entry(41) == 42  # reference value, variant demoted
+        assert calls["n"] == 1
+        assert "numba" not in entry.impls
+        new = registry.demotions()[before:]
+        assert [(n, t) for n, t, _ in new] == [("chaos_test_kernel", "numba")]
+        # subsequent calls dispatch straight to the reference
+        assert entry(1) == 2
+        assert calls["n"] == 1
+
+    def test_input_errors_do_not_demote(self, monkeypatch):
+        from repro.kernels import registry
+
+        @registry.kernel("chaos_test_kernel_2")
+        def chaos_test_kernel_2(x):
+            return x / 0  # reference also fails: inputs are bad
+
+        entry = registry.get_kernel("chaos_test_kernel_2")
+        entry.impls["numba"] = lambda x: x / 0
+        monkeypatch.setattr(registry, "_ACTIVE", "numba")
+        before = len(registry.demotions())
+        with pytest.raises(ZeroDivisionError):
+            entry(1)
+        assert "numba" in entry.impls  # the variant was not blamed
+        assert len(registry.demotions()) == before
