@@ -1,0 +1,206 @@
+"""Service soak benchmark: concurrent clients against one coordinator.
+
+Stands up the full service stack (coordinator thread + real worker
+subprocesses), then drives it with ``CLIENTS`` concurrent
+``ServiceClient`` threads, each running a parameter sweep whose grid
+overlaps the other clients' — the millions-of-users posture in
+miniature: many tenants, shared work, one cache tier.  Records per-point
+latency percentiles (p50/p95/p99), aggregate throughput, and the shared
+variant-cache hit rate into ``BENCH_service.json`` at the repository
+root (same artifact trajectory as ``BENCH_core.json``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/soak_service.py
+
+Environment knobs for longer soaks: ``SOAK_CLIENTS``, ``SOAK_POINTS``,
+``SOAK_WORKERS`` (defaults 4 / 6 / 2 keep the CI smoke under a minute).
+
+Exit code is non-zero when the run violates the floors asserted at the
+bottom: every point must complete, results must agree across clients
+sweeping the same angle (bit-for-bit determinism is the service's
+headline invariant), and the overlapping grids must produce shared-cache
+hits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import subprocess
+import sys
+import threading
+import time
+
+from repro.circuits import Circuit, gates
+from repro.core import SamplingConfig
+from repro.service import Coordinator, ServiceClient
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_service.json"
+SRC = str(REPO_ROOT / "src")
+
+CLIENTS = int(os.environ.get("SOAK_CLIENTS", "4"))
+POINTS = int(os.environ.get("SOAK_POINTS", "6"))
+WORKERS = int(os.environ.get("SOAK_WORKERS", "2"))
+
+
+def make_circuit(theta: float) -> Circuit:
+    n = 10
+    c = Circuit(n).append(gates.H, 0)
+    for q in range(n - 1):
+        c.append(gates.CX, q, q + 1)
+    c.append(gates.ZPow(theta), n // 2)
+    for q in range(n - 1, 0, -1):
+        c.append(gates.CX, q - 1, q)
+    c.append(gates.H, 0)
+    return c
+
+
+def spawn_workers(address: str, n: int) -> list:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro.service.worker",
+             "--connect", address, "--slots", "2", "--name", f"soak-w{i}"],
+            env=env,
+        )
+        for i in range(n)
+    ]
+
+
+def client_sweep(address: str, tenant: str, thetas, latencies, outcomes):
+    """One client's sweep; appends (theta, P(0)) and per-point latency."""
+    sampling = SamplingConfig(shots=1000, seed=29)
+    with ServiceClient(address, sampling=sampling, tenant=tenant) as client:
+        last = time.perf_counter()
+        for point in client.sweep(make_circuit, thetas):
+            now = time.perf_counter()
+            latencies.append(now - last)
+            last = now
+            outcomes.append((point.params, point.distribution[0]))
+
+
+def percentile(sorted_values, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[int(index)]
+
+
+def main() -> int:
+    # every client sweeps POINTS angles; half the grid is shared across
+    # all clients (the cache-tier payoff), half is client-private
+    shared = [round(0.1 + 0.05 * i, 3) for i in range(POINTS // 2)]
+    grids = [
+        shared + [round(0.5 + 0.01 * (c * POINTS + i), 3)
+                  for i in range(POINTS - len(shared))]
+        for c in range(CLIENTS)
+    ]
+
+    latencies: list[float] = []
+    outcomes: list[tuple] = []
+    with Coordinator() as coordinator:
+        workers = spawn_workers(coordinator.address, WORKERS)
+        try:
+            with ServiceClient(coordinator.address) as probe:
+                while len(probe.stats()["workers"]) < WORKERS:
+                    time.sleep(0.05)
+
+            start = time.perf_counter()
+            threads = [
+                threading.Thread(
+                    target=client_sweep,
+                    args=(coordinator.address, f"tenant-{c}", grids[c],
+                          latencies, outcomes),
+                )
+                for c in range(CLIENTS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            elapsed = time.perf_counter() - start
+            with ServiceClient(coordinator.address) as probe:
+                stats = probe.stats()
+        finally:
+            coordinator.shutdown()
+            for worker in workers:
+                try:
+                    worker.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    worker.kill()
+                    worker.wait(timeout=10)
+
+    total_points = CLIENTS * POINTS
+    cache = stats.get("cache") or {}
+    hits = int(cache.get("hits", 0))
+    misses = int(cache.get("misses", 0))
+    hit_rate = hits / (hits + misses) if hits + misses else 0.0
+    ordered = sorted(latencies)
+    results = {
+        "clients": CLIENTS,
+        "points_per_client": POINTS,
+        "workers": WORKERS,
+        "elapsed_seconds": elapsed,
+        "points_completed": len(outcomes),
+        "throughput_points_per_second": len(outcomes) / elapsed,
+        "latency_p50_seconds": percentile(ordered, 0.50),
+        "latency_p95_seconds": percentile(ordered, 0.95),
+        "latency_p99_seconds": percentile(ordered, 0.99),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_rate": hit_rate,
+        "jobs_completed": stats.get("jobs_completed", 0),
+        "jobs_dispatched": stats.get("jobs_dispatched", 0),
+        "workers_lost": stats.get("workers_lost", 0),
+    }
+
+    # CI may be interrupted mid-write: stage to a tmp file and os.replace
+    tmp = OUTPUT.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(results, indent=2) + "\n")
+    os.replace(tmp, OUTPUT)
+    print(json.dumps(results, indent=2))
+
+    failures = []
+    if len(outcomes) != total_points:
+        failures.append(
+            f"only {len(outcomes)}/{total_points} sweep points completed"
+        )
+    # determinism across tenants: every client swept the shared angles
+    # with the same seed, so their probabilities must agree exactly
+    by_theta: dict = {}
+    for theta, p0 in outcomes:
+        if theta in shared:
+            by_theta.setdefault(theta, set()).add(p0)
+    for theta, values in by_theta.items():
+        if len(values) != 1:
+            failures.append(
+                f"clients disagree on theta={theta}: {sorted(values)}"
+            )
+    if shared and hits == 0:
+        failures.append("overlapping grids produced zero shared-cache hits")
+    if stats.get("workers_lost", 0):
+        failures.append(f"lost {stats['workers_lost']} workers during soak")
+
+    if failures:
+        print("SOAK FLOOR FAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    mean = statistics.fmean(ordered) if ordered else 0.0
+    print(
+        f"soak ok: {len(outcomes)} points from {CLIENTS} clients in "
+        f"{elapsed:.2f}s ({results['throughput_points_per_second']:.1f}/s, "
+        f"mean latency {mean * 1e3:.1f}ms, cache hit rate {hit_rate:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

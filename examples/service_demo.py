@@ -1,0 +1,123 @@
+"""The distributed execution service: coordinator + worker fleet demo.
+
+``SuperSim`` is a library; ``repro.service`` runs the same pipeline as a
+long-lived shared service.  This demo stands the whole stack up inside
+one script: a coordinator (in a background thread), two real worker
+subprocesses (``python -m repro.service.worker``), and a
+``ServiceClient`` whose ``run()``/``sweep()`` mirror the local engine.
+
+Three things to watch:
+
+* **bit-for-bit determinism** — job seeds derive from content
+  fingerprints, not dispatch order, so the seeded service run is
+  asserted identical to a local ``SuperSim`` run;
+* **the shared variant cache** — a second client's sweep over the same
+  grid is served entirely from the coordinator's cache tier (zero
+  misses, zero worker jobs);
+* **admission control** — every request is priced by
+  ``ExecutionPlan.estimate()`` against a per-tenant token bucket; the
+  demo prints the quote it was admitted under.
+
+Run:  python examples/service_demo.py
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import repro
+from repro.circuits import Circuit, gates
+from repro.core import SamplingConfig, SuperSim
+from repro.service import Coordinator, ServiceClient
+
+SRC = str(Path(repro.__file__).resolve().parents[1])
+
+
+def make_circuit(theta: float) -> Circuit:
+    n = 10
+    c = Circuit(n).append(gates.H, 0)
+    for q in range(n - 1):
+        c.append(gates.CX, q, q + 1)
+    c.append(gates.ZPow(theta), n // 2)
+    for q in range(n - 1, 0, -1):
+        c.append(gates.CX, q - 1, q)
+    c.append(gates.H, 0)
+    return c
+
+
+def spawn_worker(address: str, name: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.service.worker",
+         "--connect", address, "--slots", "2", "--name", name],
+        env=env,
+    )
+
+
+def main() -> None:
+    thetas = [0.1, 0.25, 0.4, 0.55]
+    sampling = SamplingConfig(shots=2000, seed=11)
+
+    with Coordinator(quota_rate=500.0, quota_capacity=5000.0) as coordinator:
+        address = coordinator.address
+        print(f"coordinator listening on {address}")
+        workers = [spawn_worker(address, f"w{i}") for i in range(2)]
+        try:
+            with ServiceClient(address, sampling=sampling) as client:
+                # wait until both workers have joined the fleet
+                while len(client.stats()["workers"]) < 2:
+                    time.sleep(0.05)
+                print("2 workers joined the fleet\n")
+
+                quote = client.estimate(make_circuit(thetas[0]))
+                print(f"admission quote per point: {quote.total_cost:.3g} "
+                      f"cost units ({len(quote.fragments)} fragments)")
+
+                print(f"\n{'theta':>7} {'P(0...0)':>10} {'hits':>5} "
+                      f"{'misses':>7} {'faults':>7}")
+                for point in client.sweep(make_circuit, thetas):
+                    print(f"{point.params:>7} "
+                          f"{point.distribution[0]:>10.4f} "
+                          f"{point.cache_hits:>5} "
+                          f"{point.result.cache_misses:>7} "
+                          f"{len(point.result.faults.events):>7}")
+
+                # --- determinism: the service result IS the local result ----
+                local = SuperSim(sampling=sampling).run(make_circuit(0.25))
+                remote = client.run(make_circuit(0.25))
+                assert remote.distribution.probs == local.distribution.probs
+                print("\nservice run is bit-for-bit identical to a local "
+                      "SuperSim run")
+
+            # --- the cache tier is shared across clients --------------------
+            with ServiceClient(address, sampling=sampling) as second:
+                points = list(second.sweep(make_circuit, thetas))
+                misses = sum(p.result.cache_misses for p in points)
+                assert misses == 0, "second client should hit the shared cache"
+                stats = second.stats()
+                cache = stats["cache"]
+                print(f"second client swept {len(points)} points with 0 "
+                      "variant misses — served from the shared cache tier "
+                      f"(hits={cache.get('hits')}, "
+                      f"entries={cache.get('entries')})")
+                print(f"fleet: {len(stats['workers'])} workers, "
+                      f"{stats['jobs_completed']} jobs completed, "
+                      f"{stats['requests']} requests admitted")
+                second.shutdown_coordinator()
+        finally:
+            for worker in workers:
+                try:
+                    worker.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    worker.kill()
+                    worker.wait(timeout=10)
+    print("coordinator and workers shut down cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -53,6 +53,7 @@ from repro.backends.calibration import (
 )
 from repro.backends.cache import (
     VariantCache,
+    approx_result_bytes,
     circuit_fingerprint,
     noise_fingerprint,
 )
@@ -64,6 +65,13 @@ from repro.backends.registry import (
     unregister_backend,
 )
 from repro.backends.router import BackendRouter, NoCapableBackendError
+from repro.backends.tiers import (
+    CacheTier,
+    RemoteCacheTier,
+    SQLiteCacheTier,
+    TieredCache,
+    cache_key_token,
+)
 
 register_backend("stabilizer", StabilizerBackend)
 register_backend("chform", CHFormBackend)
@@ -83,6 +91,12 @@ __all__ = [
     "host_fingerprint",
     "measure_cost_scales",
     "VariantCache",
+    "CacheTier",
+    "SQLiteCacheTier",
+    "RemoteCacheTier",
+    "TieredCache",
+    "cache_key_token",
+    "approx_result_bytes",
     "circuit_fingerprint",
     "noise_fingerprint",
     "register_backend",

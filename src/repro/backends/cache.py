@@ -18,9 +18,47 @@ from __future__ import annotations
 
 import hashlib
 import struct
+import sys
+import threading
 from collections import OrderedDict
 
 from repro.circuits.circuit import Circuit
+
+
+def approx_result_bytes(value, _depth: int = 2) -> int:
+    """A cheap size estimate of a cached variant result, in bytes.
+
+    Sums the ``nbytes`` of numpy arrays reachable through at most two
+    levels of instance attributes (``SampledVariantData.bits``,
+    ``DenseVariantData.distribution.keys/probs``, the affine form's
+    matrices, ...) plus ``sys.getsizeof`` of the objects themselves.
+    Deliberately approximate — it feeds the cache's ``bytes`` gauge, not
+    an allocator — and never serialises the value to measure it.
+    """
+    total = 0
+    seen: set[int] = set()
+    stack = [(value, _depth)]
+    while stack:
+        obj, depth = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        nbytes = getattr(obj, "nbytes", None)
+        if isinstance(nbytes, int):
+            total += nbytes
+            continue
+        try:
+            total += sys.getsizeof(obj)
+        except TypeError:  # pragma: no cover - exotic objects
+            pass
+        if depth <= 0:
+            continue
+        attrs = getattr(obj, "__dict__", None)
+        if attrs:
+            stack.extend((child, depth - 1) for child in attrs.values())
+        elif isinstance(obj, (tuple, list)):
+            stack.extend((child, depth - 1) for child in obj)
+    return total
 
 
 def circuit_fingerprint(circuit: Circuit) -> str:
@@ -96,32 +134,53 @@ def resolve_cache(spec) -> "VariantCache | None":
 
 
 class VariantCache:
-    """A bounded LRU mapping (fingerprint, mode) -> variant result."""
+    """A bounded LRU mapping (fingerprint, mode) -> variant result.
+
+    Thread-safe: the distributed service shares one instance across
+    concurrent client requests executing on different threads, so every
+    mutation happens under a lock.  ``stats()`` reports the LRU's
+    lifetime ``evictions`` and an approximate ``bytes`` gauge of the
+    live entries (see :func:`approx_result_bytes`) alongside the
+    hit/miss/entry counters.
+    """
 
     def __init__(self, maxsize: int = 4096):
         if maxsize < 1:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
         self._data: OrderedDict[tuple, object] = OrderedDict()
+        self._sizes: dict[tuple, int] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._bytes = 0
 
     def get(self, key: tuple):
         """The cached value, or ``None`` (counts a hit/miss)."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: tuple, value) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        size = approx_result_bytes(value)
+        with self._lock:
+            if key in self._data:
+                self._bytes -= self._sizes.get(key, 0)
+            self._data[key] = value
+            self._sizes[key] = size
+            self._bytes += size
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                evicted, _ = self._data.popitem(last=False)
+                self._bytes -= self._sizes.pop(evicted, 0)
+                self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._data)
@@ -130,16 +189,23 @@ class VariantCache:
         return key in self._data
 
     def clear(self) -> None:
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self._sizes.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self._bytes = 0
 
     def stats(self) -> dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "entries": len(self._data),
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._data),
+                "evictions": self.evictions,
+                "bytes": self._bytes,
+            }
 
     def __repr__(self) -> str:
         return (

@@ -1078,12 +1078,23 @@ class FragmentEvaluator:
             "backends": usage,
         }
 
-    def evaluate_all(self, fragments: list[Fragment]) -> list[FragmentData]:
+    def evaluate_all(
+        self, fragments: list[Fragment], job_runner=None
+    ) -> list[FragmentData]:
         """Evaluate every variant of every fragment through one batched pool.
 
         Fragment x variant jobs are flattened together, so parallelism is
         not bounded by any single fragment's variant count, and the cache
         deduplicates identical variants both within and across calls.
+
+        ``job_runner`` overrides *where* the deduplicated jobs execute:
+        called as ``job_runner(jobs, faults) -> {key: VariantData}``, it
+        must return a value for every job (raising on unrecoverable
+        failure) and record any survived faults on ``faults``.  The
+        distributed service injects its coordinator dispatch here;
+        everything else — seeding, cache consult/fill, fragment assembly —
+        is identical, which is what makes service runs bit-for-bit equal
+        to local ones.
         """
         root_seed = int(self.rng.integers(2**63))
         assignments, unique = self._build_jobs(list(fragments), root_seed)
@@ -1105,7 +1116,11 @@ class FragmentEvaluator:
             "cache_misses": len(unique),
             "backends": usage,
         }
-        computed = self._run_jobs(list(unique.values()))
+        if job_runner is not None:
+            computed = dict(job_runner(list(unique.values()), self.faults))
+            self._last_degraded = set()
+        else:
+            computed = self._run_jobs(list(unique.values()))
         if self.cache is not None:
             for key, value in computed.items():
                 if key in self._last_degraded:

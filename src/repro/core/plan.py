@@ -86,6 +86,53 @@ class CostEstimate:
             usage[f.backend] = usage.get(f.backend, 0) + f.num_variants
         return usage
 
+    def to_dict(self) -> dict:
+        """A JSON-serialisable view of this estimate.
+
+        Everything is plain ints/floats/bools/strings — the admission
+        controller ships quotes over the wire and benchmark scripts dump
+        them into ``BENCH_*.json`` without a custom encoder.
+        """
+        return {
+            "fragments": [
+                {
+                    "index": f.index,
+                    "n_qubits": f.n_qubits,
+                    "num_variants": f.num_variants,
+                    "backend": f.backend,
+                    "mode": f.mode,
+                    "is_clifford": f.is_clifford,
+                    "cost": f.cost,
+                }
+                for f in self.fragments
+            ],
+            "total_cost": self.total_cost,
+            "num_variants": self.num_variants,
+            "unique_variants": self.unique_variants,
+            "cached_variants": self.cached_variants,
+            "num_cuts": self.num_cuts,
+            "reconstruction_terms": self.reconstruction_terms,
+            "calibrated": self.calibrated,
+            "reconstruction_cost": self.reconstruction_cost,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CostEstimate":
+        """Rebuild an estimate from :meth:`to_dict` output."""
+        return cls(
+            fragments=tuple(
+                FragmentPlan(**fragment) for fragment in data["fragments"]
+            ),
+            total_cost=data["total_cost"],
+            num_variants=data["num_variants"],
+            unique_variants=data["unique_variants"],
+            cached_variants=data["cached_variants"],
+            num_cuts=data["num_cuts"],
+            reconstruction_terms=data["reconstruction_terms"],
+            calibrated=data["calibrated"],
+            reconstruction_cost=data.get("reconstruction_cost", 0.0),
+        )
+
     def __repr__(self) -> str:
         cached = (
             f", {self.cached_variants} cached" if self.cached_variants else ""
@@ -119,6 +166,41 @@ class ExecutionPlan:
     _sim: object = field(repr=False, compare=False)
     _backends: tuple[Backend, ...] = field(repr=False, compare=False)
 
+    # -- serialisation ------------------------------------------------------
+
+    def __getstate__(self):
+        # a plan travels over the service wire without its engine: the
+        # coordinator re-binds its own SuperSim (same configs) on arrival.
+        # The backend instances stay — they are picklable (process-pool
+        # jobs already carry them) and they ARE the plan's routing.
+        state = {
+            f: getattr(self, f)
+            for f in self.__dataclass_fields__
+            if f != "_sim"
+        }
+        state["_sim"] = None
+        return state
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
+    def bind(self, sim) -> "ExecutionPlan":
+        """Attach an engine to an unbound (e.g. unpickled) plan.
+
+        Returns a new plan whose :meth:`estimate` / :meth:`execute` run on
+        ``sim``.  Binding a bound plan re-targets it.
+        """
+        return replace(self, _sim=sim)
+
+    def _require_sim(self):
+        if self._sim is None:
+            raise RuntimeError(
+                "this ExecutionPlan is unbound (it crossed a process "
+                "boundary without its engine); call plan.bind(sim) first"
+            )
+        return self._sim
+
     # -- introspection ------------------------------------------------------
 
     @property
@@ -149,7 +231,7 @@ class ExecutionPlan:
         fingerprints every variant circuit against the attached cache to
         predict hits.
         """
-        return self._sim._estimate_plan(self)
+        return self._require_sim()._estimate_plan(self)
 
     # -- overrides ----------------------------------------------------------
 
@@ -161,7 +243,7 @@ class ExecutionPlan:
         fragment of the old cut set) does not carry over — apply
         ``with_cuts`` first, then pin backends on the resulting plan.
         """
-        return self._sim.plan(
+        return self._require_sim().plan(
             self.circuit, keep_qubits=list(self.keep_qubits), cuts=list(cuts)
         )
 
@@ -206,7 +288,7 @@ class ExecutionPlan:
 
     def execute(self):
         """Run evaluate → tomography → reconstruct under this plan."""
-        return self._sim._execute_plan(self)
+        return self._require_sim()._execute_plan(self)
 
 
 @dataclass(frozen=True)

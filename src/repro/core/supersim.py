@@ -234,6 +234,12 @@ class SuperSim:
         self._batch_executor = None
         self._batch_executor_kind: str | None = None
         self._default_router = None
+        #: override for where deduplicated variant jobs execute — the
+        #: service coordinator injects its dispatcher here (see
+        #: FragmentEvaluator.evaluate_all's job_runner contract)
+        self._job_runner = None
+        #: resources adopted for deterministic shutdown via close()
+        self._owned_resources: list = []
 
     # -- legacy attribute surface (read-only views onto the configs) ---------
 
@@ -508,7 +514,9 @@ class SuperSim:
 
         start = time.perf_counter()
         evaluator = self._evaluator(assignments=assignments)
-        fragment_data = evaluator.evaluate_all(cc.fragments)
+        fragment_data = evaluator.evaluate_all(
+            cc.fragments, job_runner=self._job_runner
+        )
         timings["evaluate"] = time.perf_counter() - start
         timings["cache_hits"] = float(evaluator.last_stats.get("cache_hits", 0))
         timings["cache_misses"] = float(evaluator.last_stats.get("cache_misses", 0))
@@ -828,6 +836,48 @@ class SuperSim:
 
         return pool()
 
+    # -- lifecycle ------------------------------------------------------------
+
+    def adopt_resource(self, resource) -> None:
+        """Register a resource for deterministic shutdown via :meth:`close`.
+
+        Anything with a ``close()`` or ``shutdown()`` method qualifies —
+        a :class:`~repro.service.client.ServiceClient`, a remote cache
+        tier, an externally-managed executor pool.  Resources close in
+        reverse adoption order; adoption is idempotent per object.
+        """
+        if not any(r is resource for r in self._owned_resources):
+            self._owned_resources.append(resource)
+
+    def close(self) -> None:
+        """Release everything this engine holds open, deterministically.
+
+        Shuts down any live :class:`~repro.core.evaluator.SharedExecutorPool`
+        (normally scoped to a sweep, but an aborted batch — e.g. a
+        generator abandoned mid-iteration — can leave one behind) and
+        closes adopted resources (service client connections, cache
+        tiers).  Idempotent; the engine remains usable afterwards — the
+        next run simply builds fresh pools.
+        """
+        handle = self._batch_executor
+        self._batch_executor = None
+        self._batch_executor_kind = None
+        if handle is not None and hasattr(handle, "shutdown"):
+            handle.shutdown()
+        while self._owned_resources:
+            resource = self._owned_resources.pop()
+            closer = getattr(resource, "close", None) or getattr(
+                resource, "shutdown", None
+            )
+            if closer is not None:
+                closer()
+
+    def __enter__(self) -> "SuperSim":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def probabilities(self, circuit: Circuit) -> Distribution:
         """Reconstructed distribution over the circuit's measured qubits."""
         return self.run(circuit).distribution
@@ -851,7 +901,9 @@ class SuperSim:
         if keep_qubits is None:
             keep_qubits = list(circuit.measured_qubits)
         cc = self.cut(circuit)
-        fragment_data = self._evaluator().evaluate_all(cc.fragments)
+        fragment_data = self._evaluator().evaluate_all(
+            cc.fragments, job_runner=self._job_runner
+        )
         keep_set = set(keep_qubits)
         kept_locals = [
             [lq for oq, lq in fragment.circuit_outputs if oq in keep_set]
@@ -894,7 +946,9 @@ class SuperSim:
                 raise ValueError("empty marginal window")
         cc = self.cut(circuit, cuts)
         evaluator = self._evaluator()
-        fragment_data = evaluator.evaluate_all(cc.fragments)
+        fragment_data = evaluator.evaluate_all(
+            cc.fragments, job_runner=self._job_runner
+        )
         project = self.sampling.tomography and self.sampling.shots is not None
         out: list[Distribution] = []
         for window in windows:
@@ -965,7 +1019,9 @@ class SuperSim:
             raise ValueError("bitstring length does not match measured qubits")
         bit_of = dict(zip(qubits, outcome_bits))
         cc = self.cut(circuit)
-        fragment_data = self._evaluator().evaluate_all(cc.fragments)
+        fragment_data = self._evaluator().evaluate_all(
+            cc.fragments, job_runner=self._job_runner
+        )
         scalar_tensors = []
         axis_cuts = []
         for fragment, data in zip(cc.fragments, fragment_data):

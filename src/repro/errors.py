@@ -105,7 +105,43 @@ class WorkerCrashError(ReproError):
     kills every in-flight future at once), so a job is only declared
     poison after ``ExecutionConfig.max_job_crashes`` crashes with it in
     flight — innocent bystanders of one crash are simply resubmitted.
+    The distributed service maps a remote worker disconnect onto the same
+    semantics: jobs in flight on a lost worker are charged one crash and
+    redistributed, and only a job that outlives ``max_job_crashes``
+    worker losses raises this.
     """
+
+
+class ServiceError(ReproError):
+    """Base class for failures raised by the distributed execution service
+    (:mod:`repro.service`): protocol violations, lost coordinator
+    connections, requests failing server-side without a more specific
+    engine error to forward."""
+
+
+class QuotaExceededError(ServiceError):
+    """The coordinator's admission control rejected a request (429-style).
+
+    ``retry_after`` is the coordinator's hint, in seconds, for when the
+    tenant's token bucket will hold enough cost units to admit this
+    request; ``estimate`` carries the
+    :class:`~repro.core.plan.CostEstimate` the request was priced with
+    (when the coordinator included its quote in the rejection).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float | None = None,
+        estimate=None,
+        **context,
+    ):
+        if retry_after is not None:
+            message = f"{message} (retry after ~{retry_after:.3g}s)"
+        super().__init__(message, **context)
+        self.retry_after = retry_after
+        self.estimate = estimate
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,141 @@
+"""Admission control: per-tenant token buckets priced in cost units.
+
+The coordinator prices every incoming request with the engine's own
+zero-simulation dry run (:meth:`ExecutionPlan.estimate`) before any
+simulation is admitted — with a calibrated router the estimate's units
+are approximately seconds of this machine's compute, so a quota of
+``rate=2.0`` reads as "this tenant may consume about two compute-seconds
+per wall-second, with bursts up to ``capacity``".
+
+The bucket admits a request when it holds at least
+``min(cost, capacity)`` tokens — a single request dearer than the whole
+burst capacity would otherwise never be admittable — and then deducts
+the *full* cost, letting the balance go negative: an expensive admitted
+request puts the tenant in debt and throttles its follow-ups, which is
+the behaviour that keeps one tenant's 61-qubit sweep from starving
+everyone else's interactive runs.  A rejection carries a ``retry_after``
+hint computed from the refill rate (the 429 idiom), surfaced client-side
+as :class:`~repro.errors.QuotaExceededError`.
+
+The clock is injectable so tests drive refill deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+class TokenBucket:
+    """One tenant's budget: ``rate`` cost-units/second, burst ``capacity``."""
+
+    def __init__(self, rate: float, capacity: float, clock=time.monotonic):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._clock = clock
+        self.tokens = float(capacity)
+        self._last = clock()
+        self.admitted = 0
+        self.rejected = 0
+        self.spent = 0.0
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        self._last = now
+        if elapsed > 0:
+            self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+
+    def admit(self, cost: float) -> tuple[bool, float]:
+        """Try to admit a request of ``cost`` units.
+
+        Returns ``(True, 0.0)`` on admission (the full cost is deducted,
+        possibly into debt) or ``(False, retry_after_seconds)``.
+        """
+        if cost < 0:
+            raise ValueError("cost must be non-negative")
+        self._refill()
+        needed = min(cost, self.capacity)
+        if self.tokens >= needed:
+            self.tokens -= cost
+            self.admitted += 1
+            self.spent += cost
+            return True, 0.0
+        self.rejected += 1
+        return False, (needed - self.tokens) / self.rate
+
+    def stats(self) -> dict:
+        self._refill()
+        return {
+            "tokens": self.tokens,
+            "rate": self.rate,
+            "capacity": self.capacity,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "spent": self.spent,
+        }
+
+
+class AdmissionController:
+    """Per-tenant token buckets behind one thread-safe front door.
+
+    ``rate=None`` disables quotas entirely (every request admits) —
+    the default for a private coordinator; a shared deployment passes
+    explicit ``rate`` / ``capacity``.  Buckets are created lazily per
+    tenant name on first sight.
+    """
+
+    def __init__(
+        self,
+        rate: float | None = None,
+        capacity: float | None = None,
+        clock=time.monotonic,
+    ):
+        self.rate = rate
+        self.capacity = capacity if capacity is not None else (
+            rate * 10 if rate is not None else None
+        )
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None
+
+    def admit(self, tenant: str, cost: float) -> tuple[bool, float]:
+        if not self.enabled:
+            self.admitted += 1
+            return True, 0.0
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.rate, self.capacity, clock=self._clock
+                )
+            ok, retry_after = bucket.admit(cost)
+        if ok:
+            self.admitted += 1
+        else:
+            self.rejected += 1
+        return ok, retry_after
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "tenants": {
+                    name: bucket.stats()
+                    for name, bucket in self._buckets.items()
+                },
+            }

@@ -1,0 +1,298 @@
+"""ServiceClient: the SuperSim surface, executed by a remote coordinator.
+
+A client holds one connection to a coordinator and mirrors the engine's
+entry points — :meth:`run`, :meth:`sweep`, :meth:`estimate`, plus the
+fire-and-forget pair :meth:`submit` / :meth:`poll` — so moving a
+workload onto the service is a constructor swap:
+
+.. code-block:: python
+
+    sim = SuperSim(sampling=SamplingConfig(shots=1000, seed=7))
+    local = sim.run(circuit)
+
+    with ServiceClient(address, sampling=SamplingConfig(shots=1000, seed=7)) as svc:
+        remote = svc.run(circuit)
+    # remote.distribution == local.distribution, bit for bit
+
+Configs are pickled to the coordinator, which rebuilds the identical
+engine server-side; job seeds derive from content fingerprints, so the
+distributed result is bit-for-bit the local one.  A sweep materialises
+its circuits client-side (the factory may close over anything) and
+streams :class:`~repro.core.plan.SweepResult` records back as each
+point completes.
+
+Admission rejections surface as
+:class:`~repro.errors.QuotaExceededError` with the coordinator's
+``retry_after`` hint and the cost quote it was priced with; remote
+failures re-raise the original engine exception when it travelled back,
+falling back to :class:`~repro.errors.ServiceError`.
+
+A client is one request at a time (the protocol is request/response per
+connection); open one client per thread for concurrency — the
+coordinator multiplexes server-side, and the shared cache tier is what
+makes concurrent clients cheaper together than apart.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.plan import CostEstimate
+from repro.errors import QuotaExceededError, ServiceError
+from repro.service.protocol import Transport, connect
+
+__all__ = ["ServiceClient"]
+
+
+def _materialize(circuit_factory, params):
+    """Call the sweep factory the way ``SuperSim.sweep`` would."""
+    if isinstance(params, dict):
+        return circuit_factory(**params)
+    if isinstance(params, tuple):
+        return circuit_factory(*params)
+    return circuit_factory(params)
+
+
+class ServiceClient:
+    """A connection to a coordinator, speaking the ``SuperSim`` surface.
+
+    ``cut`` / ``sampling`` / ``execution`` / ``reconstruction`` are the
+    same config objects ``SuperSim`` takes and define the engine the
+    coordinator builds for this client's requests.  ``tenant`` names the
+    admission-control bucket; ``priority`` orders this client's variant
+    jobs in the shared queue (lower runs first).
+    """
+
+    def __init__(
+        self,
+        address,
+        *,
+        cut=None,
+        sampling=None,
+        execution=None,
+        reconstruction=None,
+        tenant: str = "default",
+        priority: int = 0,
+        transport: Transport | None = None,
+        connect_timeout: float = 10.0,
+    ):
+        self.tenant = tenant
+        self.priority = int(priority)
+        self.cut = cut
+        self.sampling = sampling
+        self.execution = self._wire_safe_execution(execution)
+        self.reconstruction = reconstruction
+        self._lock = threading.Lock()
+        self._closed = False
+        if transport is not None:
+            self._transport = transport
+        else:
+            self._transport = connect(address, timeout=connect_timeout)
+        self._transport.send({"type": "hello", "role": "client"})
+        welcome = self._transport.recv()
+        if not welcome or welcome.get("type") != "welcome":
+            raise ServiceError(
+                f"coordinator refused client handshake: {welcome!r}"
+            )
+
+    @staticmethod
+    def _wire_safe_execution(execution):
+        """Strip config members that must not (or cannot) cross the wire.
+
+        A cache *instance* is process-local state (and holds locks pickle
+        refuses); the coordinator substitutes its shared tier regardless,
+        so the spec collapses to a plain ``True``.
+        """
+        if execution is None:
+            return None
+        if execution.cache not in (True, False, None):
+            execution = execution.replace(cache=True)
+        return execution
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request_fields(self) -> dict:
+        return {
+            "cut": self.cut,
+            "sampling": self.sampling,
+            "execution": self.execution,
+            "reconstruction": self.reconstruction,
+            "tenant": self.tenant,
+            "priority": self.priority,
+        }
+
+    def _recv(self) -> dict:
+        reply = self._transport.recv()
+        if reply is None:
+            raise ServiceError("coordinator closed the connection")
+        return reply
+
+    def _raise_reply(self, reply: dict):
+        kind = reply.get("type")
+        if kind == "rejected":
+            estimate = reply.get("estimate")
+            raise QuotaExceededError(
+                "coordinator admission control rejected the request "
+                f"(cost {reply.get('cost', 0.0):.3g})",
+                retry_after=reply.get("retry_after"),
+                estimate=(
+                    CostEstimate.from_dict(estimate)
+                    if estimate is not None
+                    else None
+                ),
+            )
+        if kind == "error":
+            cause = reply.get("exception")
+            if isinstance(cause, BaseException):
+                raise cause
+            raise ServiceError(f"request failed remotely: {reply.get('error')}")
+        raise ServiceError(f"unexpected reply {kind!r}")
+
+    def _roundtrip(self, message: dict, expect: str) -> dict:
+        with self._lock:
+            self._transport.send(message)
+            reply = self._recv()
+        if reply.get("type") != expect:
+            self._raise_reply(reply)
+        return reply
+
+    # -- the SuperSim surface ------------------------------------------------
+
+    def run(self, circuit, keep_qubits=None, cuts=None):
+        """Remote ``SuperSim.run``: returns the ``SuperSimResult``.
+
+        Bit-for-bit identical to a local run under the same configs;
+        distributed faults the service survived (worker crashes,
+        redispatches, degrade-to-local) are in ``result.faults``.
+        """
+        reply = self._roundtrip(
+            {
+                "type": "run",
+                "circuit": circuit,
+                "keep_qubits": keep_qubits,
+                "cuts": cuts,
+                **self._request_fields(),
+            },
+            expect="result",
+        )
+        return reply["result"]
+
+    def probabilities(self, circuit):
+        return self.run(circuit).distribution
+
+    def estimate(self, circuit, keep_qubits=None, cuts=None) -> CostEstimate:
+        """The coordinator's cost quote for a circuit — no admission charge."""
+        reply = self._roundtrip(
+            {
+                "type": "estimate",
+                "circuit": circuit,
+                "keep_qubits": keep_qubits,
+                "cuts": cuts,
+                **self._request_fields(),
+            },
+            expect="estimate",
+        )
+        return CostEstimate.from_dict(reply["estimate"])
+
+    def sweep(
+        self,
+        circuit_factory,
+        param_grid,
+        keep_qubits=None,
+        reuse_cuts: bool = True,
+    ):
+        """Remote ``SuperSim.sweep``: yields ``SweepResult`` per point.
+
+        Circuits are materialised client-side (the factory may close over
+        local state) and executed server-side with the sweep's sharing
+        semantics — adopted cuts, the service-wide variant cache, one
+        engine across all points.
+        """
+        params = list(param_grid)
+        circuits = [_materialize(circuit_factory, p) for p in params]
+        if not circuits:
+            return
+        with self._lock:
+            self._transport.send(
+                {
+                    "type": "sweep",
+                    "circuits": circuits,
+                    "params": params,
+                    "keep_qubits": keep_qubits,
+                    "reuse_cuts": reuse_cuts,
+                    **self._request_fields(),
+                }
+            )
+            while True:
+                reply = self._recv()
+                kind = reply.get("type")
+                if kind == "sweep_point":
+                    yield reply["point"]
+                elif kind == "sweep_done":
+                    return
+                else:
+                    self._raise_reply(reply)
+
+    def submit(self, circuit, keep_qubits=None, cuts=None) -> str:
+        """Fire-and-forget ``run``: returns a ticket for :meth:`poll`."""
+        reply = self._roundtrip(
+            {
+                "type": "submit",
+                "circuit": circuit,
+                "keep_qubits": keep_qubits,
+                "cuts": cuts,
+                **self._request_fields(),
+            },
+            expect="submitted",
+        )
+        return reply["ticket"]
+
+    def poll(self, ticket: str):
+        """The submitted run's result, or ``None`` while still executing.
+
+        Raises exactly what :meth:`run` would have once the request has
+        failed or been rejected.
+        """
+        with self._lock:
+            self._transport.send({"type": "poll", "ticket": ticket})
+            reply = self._recv()
+        kind = reply.get("type")
+        if kind == "pending":
+            return None
+        if kind == "result":
+            return reply["result"]
+        self._raise_reply(reply)
+
+    # -- service introspection ----------------------------------------------
+
+    def stats(self) -> dict:
+        """The coordinator's full stats snapshot (workers, queue, cache)."""
+        return self._roundtrip({"type": "stats"}, expect="stats")["stats"]
+
+    def cache_stats(self) -> dict:
+        return self._roundtrip({"type": "cache_stats"}, expect="cache_stats")[
+            "stats"
+        ]
+
+    def shutdown_coordinator(self) -> None:
+        """Ask the coordinator to stop (tests, demos, ops scripts)."""
+        self._roundtrip({"type": "shutdown"}, expect="bye")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._transport.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceClient(tenant={self.tenant!r}, "
+            f"transport={self._transport!r})"
+        )

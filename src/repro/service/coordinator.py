@@ -1,0 +1,1008 @@
+"""The asyncio coordinator: admission, dispatch, shared cache, fold-back.
+
+One coordinator process owns the service: it accepts client requests and
+worker registrations on a single listening socket (peers declare a role
+in their hello), and runs the *control plane* of distributed execution
+while the engine's own pipeline stays intact end to end:
+
+1. **Admission.**  Every ``run`` / ``sweep`` is priced with the engine's
+   zero-simulation dry run (``ExecutionPlan.estimate()`` — calibrated
+   cost units) and offered to the per-tenant token buckets of
+   :class:`~repro.service.admission.AdmissionController`.  A rejection
+   is a 429-style reply carrying a ``retry_after`` hint and the quote
+   itself; the client raises
+   :class:`~repro.errors.QuotaExceededError`.
+2. **Dispatch.**  An admitted request executes the normal
+   ``plan → evaluate → reconstruct`` pipeline on a request thread, with
+   one override: the evaluator's deduplicated variant jobs are handed to
+   this coordinator (``FragmentEvaluator.evaluate_all(job_runner=...)``)
+   instead of a local pool.  Jobs enter a priority queue (lower
+   ``priority`` first, FIFO within a level) and flow to workers with
+   free credit — at most ``min(worker slots, max_inflight_per_worker)``
+   of a worker's jobs are ever in flight, which is the back-pressure
+   that keeps one wide request from burying the fleet.
+3. **Fault mapping.**  A worker disconnect charges each of its in-flight
+   jobs one "crash" (the engine's heuristic attribution — innocent
+   bystanders are requeued, a job that outlives
+   ``max_job_crashes`` worker losses is quarantined); soft deadlines
+   become "timeout" events with redispatch (first result wins, late
+   duplicates are dropped); with no live workers at all the coordinator
+   degrades to local execution and records "fallback".  All of it lands
+   in the request's ``SuperSimResult.faults`` — the same ledger local
+   runs use.
+4. **Shared cache.**  Every request's engine is pointed at the
+   coordinator's cache tier (any
+   :class:`~repro.backends.tiers.CacheTier`), so concurrent sweeps from
+   different clients deduplicate simulation work; the tier is also
+   served directly over ``cache_get`` / ``cache_put`` for
+   :class:`~repro.backends.tiers.RemoteCacheTier` clients.
+
+Determinism survives distribution because job seeds derive from content
+fingerprints before dispatch: *where* a job runs, how often it was
+retried, and in what order results return never change a single bit of
+the output.
+
+``python -m repro.service.coordinator [--port P] [--quota-rate R] ...``
+runs a standalone coordinator; tests and notebooks use
+:meth:`Coordinator.start_in_thread`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import heapq
+import itertools
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.backends.cache import resolve_cache
+from repro.errors import (
+    BackendExecutionError,
+    FaultEvent,
+    JobTimeoutError,
+    ServiceError,
+    WorkerCrashError,
+)
+from repro.service.admission import AdmissionController
+from repro.service.protocol import read_message, write_message
+
+__all__ = ["Coordinator", "main"]
+
+
+class _WorkerHandle:
+    """Coordinator-side state for one connected worker."""
+
+    __slots__ = (
+        "wid",
+        "name",
+        "slots",
+        "writer",
+        "inflight",
+        "peak_inflight",
+        "completed",
+        "alive",
+    )
+
+    def __init__(self, wid: int, name: str, slots: int, writer):
+        self.wid = wid
+        self.name = name
+        self.slots = max(1, int(slots))
+        self.writer = writer
+        self.inflight: set[int] = set()
+        self.peak_inflight = 0
+        self.completed = 0
+        self.alive = True
+
+
+class _PendingJob:
+    """One variant job in the coordinator's queue or in flight."""
+
+    __slots__ = (
+        "jid",
+        "job",
+        "ctx",
+        "future",
+        "events",
+        "failures",
+        "crashes",
+        "worker",
+        "deadline",
+    )
+
+    def __init__(self, jid: int, job, ctx, future):
+        self.jid = jid
+        self.job = job
+        self.ctx = ctx
+        self.future = future
+        self.events: list[FaultEvent] = []
+        self.failures = 0
+        self.crashes = 0
+        self.worker: int | None = None  # wid currently responsible
+        self.deadline: float | None = None
+
+    def record(self, kind: str, detail: str = "") -> None:
+        self.events.append(
+            FaultEvent(
+                kind=kind,
+                fragment_index=self.job.fragment_index,
+                backend=self.job.backend.name,
+                attempt=self.job.attempt,
+                detail=detail,
+            )
+        )
+
+
+class _RequestContext:
+    """Everything one admitted request carries through execution."""
+
+    __slots__ = ("tenant", "priority", "execution")
+
+    def __init__(self, tenant: str, priority: int, execution):
+        self.tenant = tenant
+        self.priority = int(priority)
+        self.execution = execution
+
+    @property
+    def policy(self) -> str:
+        return self.execution.failure_policy
+
+    def worker_policy(self) -> dict:
+        """The retry budget shipped to workers with each job."""
+        retries = 0 if self.policy == "raise" else self.execution.max_retries
+        return {
+            "max_retries": retries,
+            "retry_backoff": self.execution.retry_backoff,
+            "retry_backoff_cap": self.execution.retry_backoff_cap,
+        }
+
+
+class Coordinator:
+    """The service control plane.  See the module docstring for the model.
+
+    ``cache`` accepts anything :func:`~repro.backends.cache.resolve_cache`
+    does — ``True`` (default: a fresh in-memory LRU), an existing
+    :class:`~repro.backends.tiers.CacheTier` (e.g. a ``TieredCache`` over
+    SQLite for durability), or ``False`` to disable sharing.
+    ``quota_rate`` / ``quota_capacity`` enable admission control
+    (cost units per second / burst); ``None`` admits everything.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        quota_rate: float | None = None,
+        quota_capacity: float | None = None,
+        max_inflight_per_worker: int = 4,
+        cache=True,
+        clock=time.monotonic,
+        request_threads: int = 8,
+    ):
+        self.host = host
+        self.port = port
+        self.cache = resolve_cache(cache)
+        self.admission = AdmissionController(
+            quota_rate, quota_capacity, clock=clock
+        )
+        self.max_inflight_per_worker = max(1, int(max_inflight_per_worker))
+        self.address: str | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._server = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(2, request_threads), thread_name_prefix="svc-req"
+        )
+        self._workers: dict[int, _WorkerHandle] = {}
+        self._jobs: dict[int, _PendingJob] = {}
+        self._queue: list[tuple[int, int, int]] = []  # (priority, seq, jid)
+        self._seq = itertools.count()
+        self._ids = itertools.count(1)
+        self._kick: asyncio.Event | None = None
+        self._stopping: asyncio.Event | None = None
+        self._tickets: dict[str, dict] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._thread: threading.Thread | None = None
+        self.counters = {
+            "requests": 0,
+            "completed": 0,
+            "errors": 0,
+            "rejected": 0,
+            "jobs_dispatched": 0,
+            "jobs_completed": 0,
+            "jobs_local": 0,
+            "workers_lost": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> str:
+        """Bind the listening socket; returns the bound ``host:port``."""
+        self.loop = asyncio.get_running_loop()
+        self._kick = asyncio.Event()
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.address = f"{bound[0]}:{bound[1]}"
+        self._spawn(self._dispatch_loop())
+        self._spawn(self._deadline_loop())
+        return self.address
+
+    async def serve_forever(self) -> None:
+        await self._stopping.wait()
+        await self._shutdown_async()
+
+    async def _shutdown_async(self) -> None:
+        self._stopping.set()
+        for handle in list(self._workers.values()):
+            try:
+                await write_message(handle.writer, {"type": "stop"})
+                handle.writer.close()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+        for pending in list(self._jobs.values()):
+            if not pending.future.done():
+                pending.future.set_exception(
+                    ServiceError("coordinator shut down with jobs pending")
+                )
+        self._jobs.clear()
+        self._queue.clear()
+        for task in list(self._tasks):
+            task.cancel()
+        self._server.close()
+        await self._server.wait_closed()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def _spawn(self, coro) -> asyncio.Task:
+        task = self.loop.create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    def start_in_thread(self) -> str:
+        """Run the coordinator on a daemon thread; returns its address.
+
+        The idiom for tests, notebooks and the demo: start, connect
+        clients/workers, and :meth:`shutdown` when done.
+        """
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        def runner():
+            async def body():
+                try:
+                    await self.start()
+                finally:
+                    started.set()
+                await self.serve_forever()
+
+            try:
+                asyncio.run(body())
+            except BaseException as exc:  # pragma: no cover - startup failure
+                failure.append(exc)
+                started.set()
+
+        self._thread = threading.Thread(
+            target=runner, name="svc-coordinator", daemon=True
+        )
+        self._thread.start()
+        started.wait(timeout=30)
+        if failure:
+            raise failure[0]
+        if self.address is None:
+            raise ServiceError("coordinator failed to start within 30s")
+        return self.address
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop a coordinator started with :meth:`start_in_thread`."""
+        if self.loop is not None and self.loop.is_running():
+            self.loop.call_soon_threadsafe(self._stopping.set)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def __enter__(self) -> "Coordinator":
+        self.start_in_thread()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        try:
+            hello = await read_message(reader)
+            if not hello or hello.get("type") != "hello":
+                writer.close()
+                return
+            await write_message(writer, {"type": "welcome", "version": 1})
+            if hello.get("role") == "worker":
+                await self._worker_loop(hello, reader, writer)
+            else:
+                await self._client_loop(hello, reader, writer)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:  # pragma: no cover - loop tearing down
+                pass
+
+    # -- worker side ---------------------------------------------------------
+
+    async def _worker_loop(self, hello, reader, writer) -> None:
+        wid = next(self._ids)
+        handle = _WorkerHandle(
+            wid,
+            name=str(hello.get("name", f"worker-{wid}")),
+            slots=int(hello.get("slots", 1)),
+            writer=writer,
+        )
+        self._workers[wid] = handle
+        self._kick.set()
+        try:
+            while True:
+                message = await read_message(reader)
+                if message is None:
+                    break
+                kind = message.get("type")
+                if kind == "job_result":
+                    self._on_job_result(handle, message)
+                elif kind == "job_error":
+                    self._on_job_error(handle, message)
+                # pong / worker_error need no bookkeeping
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._on_worker_lost(handle)
+
+    def _credit(self, handle: _WorkerHandle) -> int:
+        limit = min(handle.slots, self.max_inflight_per_worker)
+        return limit - len(handle.inflight)
+
+    def _on_job_result(self, handle: _WorkerHandle, message: dict) -> None:
+        jid = message["jid"]
+        handle.inflight.discard(jid)
+        handle.completed += 1
+        self._kick.set()
+        pending = self._jobs.pop(jid, None)
+        if pending is None:
+            return  # late duplicate after a timeout redispatch: first wins
+        pending.failures += int(message.get("failures", 0))
+        pending.events.extend(message.get("faults", ()))
+        self.counters["jobs_completed"] += 1
+        if not pending.future.done():
+            pending.future.set_result(message["value"])
+
+    def _on_job_error(self, handle: _WorkerHandle, message: dict) -> None:
+        jid = message["jid"]
+        handle.inflight.discard(jid)
+        self._kick.set()
+        pending = self._jobs.pop(jid, None)
+        if pending is None:
+            return
+        pending.failures += int(message.get("failures", 1))
+        pending.events.extend(message.get("faults", ()))
+        cause = message.get("exception")
+        if pending.ctx.policy == "degrade":
+            # the worker exhausted its retry budget on the assigned
+            # backend; last resort is the coordinator's own CPU
+            pending.record(
+                "fallback",
+                detail=(
+                    f"worker {handle.name} exhausted retries "
+                    f"({message.get('error', '?')}); re-running on coordinator"
+                ),
+            )
+            self._spawn(self._run_local(pending))
+            return
+        exc = BackendExecutionError(
+            f"worker-side execution failed: {message.get('error', '?')}",
+            fragment_index=pending.job.fragment_index,
+            backend=pending.job.backend.name,
+            attempts=pending.failures + pending.crashes,
+        )
+        if isinstance(cause, BaseException):
+            exc.__cause__ = cause
+        if not pending.future.done():
+            pending.future.set_exception(exc)
+
+    def _on_worker_lost(self, handle: _WorkerHandle) -> None:
+        if not handle.alive:
+            return
+        handle.alive = False
+        self._workers.pop(handle.wid, None)
+        if self._stopping.is_set():
+            return
+        if handle.inflight:
+            self.counters["workers_lost"] += 1
+        for jid in list(handle.inflight):
+            pending = self._jobs.get(jid)
+            if pending is None:
+                continue
+            pending.worker = None
+            pending.deadline = None
+            pending.crashes += 1
+            pending.record(
+                "crash",
+                detail=(
+                    f"worker {handle.name} disconnected with this job in "
+                    f"flight"
+                ),
+            )
+            self._after_crash(pending, f"worker {handle.name} lost")
+        handle.inflight.clear()
+        self._kick.set()
+
+    def _after_crash(self, pending: _PendingJob, detail: str) -> None:
+        """Apply the crash policy to one charged job (engine semantics)."""
+        ctx = pending.ctx
+        if ctx.policy == "raise":
+            if not pending.future.done():
+                pending.future.set_exception(
+                    WorkerCrashError(
+                        f"worker crashed with this job in flight ({detail})",
+                        fragment_index=pending.job.fragment_index,
+                        backend=pending.job.backend.name,
+                        attempts=pending.failures + pending.crashes,
+                    )
+                )
+            self._jobs.pop(pending.jid, None)
+            return
+        if pending.crashes <= ctx.execution.max_job_crashes:
+            self._requeue(pending)
+            return
+        pending.record(
+            "quarantine",
+            detail=f"{pending.crashes} worker losses with this job in flight",
+        )
+        if ctx.policy == "degrade":
+            pending.record(
+                "fallback", detail="quarantined job re-running on coordinator"
+            )
+            self._spawn(self._run_local(pending))
+            return
+        if not pending.future.done():
+            pending.future.set_exception(
+                WorkerCrashError(
+                    f"job quarantined after {pending.crashes} worker losses "
+                    f"({detail})",
+                    fragment_index=pending.job.fragment_index,
+                    backend=pending.job.backend.name,
+                    attempts=pending.failures + pending.crashes,
+                )
+            )
+        self._jobs.pop(pending.jid, None)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _requeue(self, pending: _PendingJob) -> None:
+        # known prior failures feed the attempt counter, so a chaos
+        # schedule bounded by fail_attempts converges on redispatch
+        pending.job.attempt = pending.failures + pending.crashes
+        heapq.heappush(
+            self._queue, (pending.ctx.priority, next(self._seq), pending.jid)
+        )
+        self._kick.set()
+
+    async def _dispatch_loop(self) -> None:
+        while not self._stopping.is_set():
+            await self._kick.wait()
+            self._kick.clear()
+            await self._pump()
+
+    def _pick_worker(self) -> _WorkerHandle | None:
+        best = None
+        best_credit = 0
+        for handle in self._workers.values():
+            credit = self._credit(handle)
+            if credit > best_credit:
+                best, best_credit = handle, credit
+        return best
+
+    async def _pump(self) -> None:
+        while self._queue:
+            if not self._workers:
+                # degrade-to-local: no fleet, the coordinator is the fleet
+                _, _, jid = heapq.heappop(self._queue)
+                pending = self._jobs.get(jid)
+                if pending is None or pending.worker is not None:
+                    continue
+                pending.record(
+                    "fallback",
+                    detail="no live workers; executing on coordinator",
+                )
+                self._spawn(self._run_local(pending))
+                continue
+            handle = self._pick_worker()
+            if handle is None:
+                return  # every worker at its in-flight bound: back-pressure
+            _, _, jid = heapq.heappop(self._queue)
+            pending = self._jobs.get(jid)
+            if pending is None or pending.worker is not None:
+                continue  # cancelled batch or duplicate queue entry
+            await self._send_job(handle, pending)
+
+    async def _send_job(self, handle: _WorkerHandle, pending: _PendingJob) -> None:
+        pending.worker = handle.wid
+        handle.inflight.add(pending.jid)
+        handle.peak_inflight = max(handle.peak_inflight, len(handle.inflight))
+        if pending.job.timeout is not None:
+            pending.deadline = self.loop.time() + pending.job.timeout
+        self.counters["jobs_dispatched"] += 1
+        try:
+            await write_message(
+                handle.writer,
+                {
+                    "type": "job",
+                    "jid": pending.jid,
+                    "job": pending.job,
+                    "policy": pending.ctx.worker_policy(),
+                },
+            )
+        except (ConnectionError, OSError):
+            self._on_worker_lost(handle)
+
+    async def _deadline_loop(self) -> None:
+        """Soft-deadline monitor: redispatch overdue jobs (first result wins)."""
+        while not self._stopping.is_set():
+            await asyncio.sleep(0.05)
+            now = self.loop.time()
+            for pending in list(self._jobs.values()):
+                if pending.deadline is None or pending.deadline > now:
+                    continue
+                handle = self._workers.get(pending.worker)
+                if handle is not None:
+                    handle.inflight.discard(pending.jid)
+                pending.worker = None
+                pending.deadline = None
+                ctx = pending.ctx
+                if ctx.policy == "raise":
+                    self._jobs.pop(pending.jid, None)
+                    if not pending.future.done():
+                        pending.future.set_exception(
+                            JobTimeoutError(
+                                "variant exceeded its soft deadline on a "
+                                "worker",
+                                timeout=pending.job.timeout,
+                                fragment_index=pending.job.fragment_index,
+                                backend=pending.job.backend.name,
+                            )
+                        )
+                    continue
+                pending.failures += 1
+                pending.record(
+                    "timeout",
+                    detail=(
+                        f"soft deadline {pending.job.timeout:.3g}s exceeded "
+                        f"on worker; redispatching"
+                    ),
+                )
+                if pending.failures <= ctx.execution.max_retries:
+                    self._requeue(pending)
+                else:
+                    self._jobs.pop(pending.jid, None)
+                    if not pending.future.done():
+                        pending.future.set_exception(
+                            JobTimeoutError(
+                                "soft deadline exceeded and retries "
+                                "exhausted",
+                                timeout=pending.job.timeout,
+                                fragment_index=pending.job.fragment_index,
+                                backend=pending.job.backend.name,
+                                attempts=pending.failures + pending.crashes,
+                            )
+                        )
+
+    # -- local (degraded) execution -----------------------------------------
+
+    def _execute_local(self, pending: _PendingJob):
+        from repro.core.evaluator import _execute_job
+
+        ctx = pending.ctx
+        job = pending.job
+        job.in_process = False  # a chaos crash must not kill the coordinator
+        retries = 0 if ctx.policy == "raise" else ctx.execution.max_retries
+        local_failures = 0
+        while True:
+            job.attempt = pending.failures + pending.crashes
+            try:
+                return _execute_job(job)
+            except Exception as exc:
+                pending.failures += 1
+                local_failures += 1
+                if local_failures > retries:
+                    raise
+                pending.record(
+                    "retry",
+                    detail=f"{type(exc).__name__}: {exc} (coordinator-local)",
+                )
+                backoff = ctx.execution.retry_backoff
+                if backoff > 0:
+                    time.sleep(
+                        min(
+                            ctx.execution.retry_backoff_cap,
+                            backoff * (2.0 ** (local_failures - 1)),
+                        )
+                    )
+
+    async def _run_local(self, pending: _PendingJob) -> None:
+        self.counters["jobs_local"] += 1
+        try:
+            value = await self.loop.run_in_executor(
+                self._executor, self._execute_local, pending
+            )
+        except Exception as exc:
+            self._jobs.pop(pending.jid, None)
+            if not pending.future.done():
+                pending.future.set_exception(
+                    BackendExecutionError(
+                        f"coordinator-local execution failed: {exc!r}",
+                        fragment_index=pending.job.fragment_index,
+                        backend=pending.job.backend.name,
+                        attempts=pending.failures + pending.crashes,
+                    )
+                )
+            return
+        self._jobs.pop(pending.jid, None)
+        self.counters["jobs_completed"] += 1
+        if not pending.future.done():
+            pending.future.set_result(value)
+
+    # -- the job_runner bridge (request threads <-> event loop) --------------
+
+    def _job_runner_for(self, ctx: _RequestContext):
+        def runner(jobs, faults):
+            if not jobs:
+                return {}
+            future = asyncio.run_coroutine_threadsafe(
+                self._run_batch(ctx, list(jobs)), self.loop
+            )
+            results, events = future.result()
+            faults.events.extend(events)
+            return results
+
+        return runner
+
+    async def _run_batch(self, ctx: _RequestContext, jobs) -> tuple[dict, list]:
+        pendings: list[_PendingJob] = []
+        for job in jobs:
+            jid = next(self._ids)
+            pending = _PendingJob(jid, job, ctx, self.loop.create_future())
+            self._jobs[jid] = pending
+            heapq.heappush(self._queue, (ctx.priority, next(self._seq), jid))
+            pendings.append(pending)
+        self._kick.set()
+        outcomes = await asyncio.gather(
+            *[p.future for p in pendings], return_exceptions=True
+        )
+        failure = next(
+            (o for o in outcomes if isinstance(o, BaseException)), None
+        )
+        if failure is not None:
+            # abandon the rest of this batch: queued entries are skipped at
+            # dispatch, in-flight results for dropped jids are ignored
+            for pending in pendings:
+                self._jobs.pop(pending.jid, None)
+            raise failure
+        events = [event for p in pendings for event in p.events]
+        return (
+            {p.job.key: value for p, value in zip(pendings, outcomes)},
+            events,
+        )
+
+    # -- request execution (thread side) -------------------------------------
+
+    def _build_sim(self, msg: dict, ctx: _RequestContext):
+        from repro.core.supersim import SuperSim
+
+        sim = SuperSim(
+            cut=msg.get("cut"),
+            sampling=msg.get("sampling"),
+            execution=ctx.execution,
+            reconstruction=msg.get("reconstruction"),
+        )
+        sim.variant_cache = self.cache
+        sim._job_runner = self._job_runner_for(ctx)
+        return sim
+
+    def _make_ctx(self, msg: dict) -> _RequestContext:
+        from repro.core.config import ExecutionConfig
+
+        execution = msg.get("execution") or ExecutionConfig()
+        return _RequestContext(
+            tenant=str(msg.get("tenant", "default")),
+            priority=int(msg.get("priority", 0)),
+            execution=execution,
+        )
+
+    def _admit(self, ctx: _RequestContext, estimate, points: int = 1):
+        cost = estimate.total_cost * max(1, points)
+        ok, retry_after = self.admission.admit(ctx.tenant, cost)
+        if ok:
+            return None
+        self.counters["rejected"] += 1
+        return {
+            "type": "rejected",
+            "retry_after": retry_after,
+            "estimate": estimate.to_dict(),
+            "cost": cost,
+        }
+
+    def _execute_run(self, msg: dict) -> dict:
+        ctx = self._make_ctx(msg)
+        sim = self._build_sim(msg, ctx)
+        plan = sim.plan(
+            msg["circuit"],
+            keep_qubits=msg.get("keep_qubits"),
+            cuts=msg.get("cuts"),
+        )
+        estimate = plan.estimate()
+        rejection = self._admit(ctx, estimate)
+        if rejection is not None:
+            return rejection
+        result = plan.execute()
+        self.counters["completed"] += 1
+        return {
+            "type": "result",
+            "result": result,
+            "estimate": estimate.to_dict(),
+        }
+
+    def _execute_estimate(self, msg: dict) -> dict:
+        ctx = self._make_ctx(msg)
+        sim = self._build_sim(msg, ctx)
+        plan = sim.plan(
+            msg["circuit"],
+            keep_qubits=msg.get("keep_qubits"),
+            cuts=msg.get("cuts"),
+        )
+        return {"type": "estimate", "estimate": plan.estimate().to_dict()}
+
+    def _execute_sweep(self, msg: dict, send) -> None:
+        ctx = self._make_ctx(msg)
+        sim = self._build_sim(msg, ctx)
+        circuits = msg["circuits"]
+        params = msg.get("params") or list(range(len(circuits)))
+        estimate = sim.plan(
+            circuits[0], keep_qubits=msg.get("keep_qubits")
+        ).estimate()
+        rejection = self._admit(ctx, estimate, points=len(circuits))
+        if rejection is not None:
+            send(rejection)
+            return
+        count = 0
+        for point in sim.sweep(
+            lambda i: circuits[i],
+            range(len(circuits)),
+            keep_qubits=msg.get("keep_qubits"),
+            reuse_cuts=msg.get("reuse_cuts", True),
+        ):
+            point = dataclasses.replace(point, params=params[point.index])
+            send({"type": "sweep_point", "point": point})
+            count += 1
+        self.counters["completed"] += 1
+        send({"type": "sweep_done", "count": count})
+
+    # -- client side ---------------------------------------------------------
+
+    async def _client_loop(self, hello, reader, writer) -> None:
+        lock = asyncio.Lock()
+        while True:
+            message = await read_message(reader)
+            if message is None:
+                break
+            kind = message.get("type")
+            handler = getattr(self, f"_msg_{kind}", None)
+            if handler is None:
+                await self._send(writer, lock, {
+                    "type": "error",
+                    "error": f"unknown message type {kind!r}",
+                })
+                continue
+            try:
+                await handler(message, writer, lock)
+            except (ConnectionError, OSError):
+                raise
+            except Exception as exc:
+                self.counters["errors"] += 1
+                await self._send(writer, lock, {
+                    "type": "error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "exception": exc,
+                })
+
+    async def _send(self, writer, lock, message: dict) -> None:
+        async with lock:
+            await write_message(writer, message)
+
+    def _thread_sender(self, writer, lock):
+        """A sync callable request threads use to stream replies out."""
+
+        def send(message: dict) -> None:
+            asyncio.run_coroutine_threadsafe(
+                self._send(writer, lock, message), self.loop
+            ).result()
+
+        return send
+
+    async def _msg_run(self, message, writer, lock) -> None:
+        self.counters["requests"] += 1
+        try:
+            reply = await self.loop.run_in_executor(
+                self._executor, self._execute_run, message
+            )
+        except Exception as exc:
+            self.counters["errors"] += 1
+            reply = {
+                "type": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+                "exception": exc,
+            }
+        await self._send(writer, lock, reply)
+
+    async def _msg_estimate(self, message, writer, lock) -> None:
+        reply = await self.loop.run_in_executor(
+            self._executor, self._execute_estimate, message
+        )
+        await self._send(writer, lock, reply)
+
+    async def _msg_sweep(self, message, writer, lock) -> None:
+        self.counters["requests"] += 1
+        send = self._thread_sender(writer, lock)
+        try:
+            await self.loop.run_in_executor(
+                self._executor, self._execute_sweep, message, send
+            )
+        except Exception as exc:
+            self.counters["errors"] += 1
+            await self._send(writer, lock, {
+                "type": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+                "exception": exc,
+            })
+
+    async def _msg_submit(self, message, writer, lock) -> None:
+        self.counters["requests"] += 1
+        ticket = f"t{next(self._ids)}"
+        self._tickets[ticket] = {"type": "pending"}
+
+        async def complete():
+            try:
+                reply = await self.loop.run_in_executor(
+                    self._executor, self._execute_run, message
+                )
+            except Exception as exc:
+                self.counters["errors"] += 1
+                reply = {
+                    "type": "error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "exception": exc,
+                }
+            self._tickets[ticket] = reply
+
+        self._spawn(complete())
+        await self._send(writer, lock, {"type": "submitted", "ticket": ticket})
+
+    async def _msg_poll(self, message, writer, lock) -> None:
+        ticket = message.get("ticket")
+        reply = self._tickets.get(ticket)
+        if reply is None:
+            reply = {"type": "error", "error": f"unknown ticket {ticket!r}"}
+        elif reply.get("type") != "pending":
+            self._tickets.pop(ticket, None)
+        await self._send(writer, lock, dict(reply, ticket=ticket))
+
+    async def _msg_stats(self, message, writer, lock) -> None:
+        await self._send(writer, lock, {"type": "stats", "stats": self.stats()})
+
+    async def _msg_shutdown(self, message, writer, lock) -> None:
+        await self._send(writer, lock, {"type": "bye"})
+        self._stopping.set()
+
+    # -- cache tier service --------------------------------------------------
+
+    async def _msg_cache_get(self, message, writer, lock) -> None:
+        value = None
+        if self.cache is not None:
+            value = self.cache.get(tuple(message["key"]))
+        await self._send(writer, lock, {"type": "cache_value", "value": value})
+
+    async def _msg_cache_put(self, message, writer, lock) -> None:
+        if self.cache is not None:
+            self.cache.put(tuple(message["key"]), message["value"])
+        await self._send(writer, lock, {"type": "cache_ok"})
+
+    async def _msg_cache_contains(self, message, writer, lock) -> None:
+        found = self.cache is not None and tuple(message["key"]) in self.cache
+        await self._send(writer, lock, {"type": "cache_found", "found": found})
+
+    async def _msg_cache_clear(self, message, writer, lock) -> None:
+        if self.cache is not None:
+            self.cache.clear()
+        await self._send(writer, lock, {"type": "cache_ok"})
+
+    async def _msg_cache_stats(self, message, writer, lock) -> None:
+        stats = self.cache.stats() if self.cache is not None else {}
+        await self._send(writer, lock, {"type": "cache_stats", "stats": stats})
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A JSON-able snapshot of the whole service's state."""
+        return {
+            **self.counters,
+            "queue_depth": len(self._queue),
+            "jobs_pending": len(self._jobs),
+            "workers": {
+                handle.name: {
+                    "slots": handle.slots,
+                    "inflight": len(handle.inflight),
+                    "peak_inflight": handle.peak_inflight,
+                    "completed": handle.completed,
+                }
+                for handle in self._workers.values()
+            },
+            "max_inflight_per_worker": self.max_inflight_per_worker,
+            "admission": self.admission.stats(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="repro execution-service coordinator",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    parser.add_argument(
+        "--quota-rate",
+        type=float,
+        default=None,
+        help="per-tenant admission rate in cost units/second (default: off)",
+    )
+    parser.add_argument("--quota-capacity", type=float, default=None)
+    parser.add_argument("--max-inflight-per-worker", type=int, default=4)
+    parser.add_argument(
+        "--cache-db",
+        default=None,
+        metavar="PATH",
+        help="back the shared cache tier with a SQLite file",
+    )
+    args = parser.parse_args(argv)
+
+    cache = True
+    if args.cache_db:
+        from repro.backends.tiers import SQLiteCacheTier, TieredCache
+
+        cache = TieredCache(back=SQLiteCacheTier(args.cache_db))
+
+    coordinator = Coordinator(
+        host=args.host,
+        port=args.port,
+        quota_rate=args.quota_rate,
+        quota_capacity=args.quota_capacity,
+        max_inflight_per_worker=args.max_inflight_per_worker,
+        cache=cache,
+    )
+
+    async def serve():
+        address = await coordinator.start()
+        print(f"coordinator listening on {address}", flush=True)
+        await coordinator.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry point
+    sys.exit(main())

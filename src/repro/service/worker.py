@@ -1,0 +1,199 @@
+"""The service worker: pull variant jobs, simulate, stream results back.
+
+``python -m repro.service.worker --connect host:port [--slots N]``
+joins a coordinator's fleet.  A worker is deliberately thin — it owns no
+policy.  It announces a *slot count* (its concurrency; the coordinator
+never keeps more than that many of this worker's jobs in flight), then
+loops: receive a pickled engine :class:`~repro.core.evaluator._Job`,
+execute it through the same module-level ``_execute_job`` the local
+pools use, send the :class:`~repro.core.evaluator.VariantData` back.
+
+The one policy fragment that *does* live here is exception retry: a
+transient backend failure is cheapest to retry where the job already is,
+so the worker retries locally up to the budget shipped with the job
+(same capped exponential backoff as the local scheduler) and reports the
+survived attempts as ``FaultEvent("retry")`` records alongside the
+result.  Everything else — crash accounting, quarantine, timeouts,
+degrade fallbacks — is the coordinator's job, because only it can see a
+worker die.
+
+Jobs run with ``in_process=True``: a chaos-schedule "crash" action is a
+real ``os._exit`` that kills this whole process mid-batch, which is
+exactly the failure the coordinator's crash accounting is tested
+against.  Determinism is untouched by any of this: job seeds are derived
+from content fingerprints before dispatch, so *which* worker runs a job
+never changes its output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import FaultEvent
+from repro.service.protocol import Transport, connect
+
+__all__ = ["run_worker", "main"]
+
+
+def _execute_with_retries(job, policy: dict):
+    """Run one job with worker-local exception retries.
+
+    Returns ``(value, fault_events, failures)``; raises the last
+    exception once the shipped retry budget is exhausted (the
+    coordinator turns that into a policy decision).  A chaos-simulated
+    crash is never caught here — with ``in_process=True`` it is an
+    ``os._exit`` and the process is already gone.
+    """
+    from repro.core.evaluator import _execute_job
+
+    max_retries = int(policy.get("max_retries", 0))
+    backoff = float(policy.get("retry_backoff", 0.0))
+    backoff_cap = float(policy.get("retry_backoff_cap", 0.0))
+    base_attempt = job.attempt
+    events: list[FaultEvent] = []
+    failures = 0
+    while True:
+        job.attempt = base_attempt + failures
+        try:
+            return _execute_job(job), events, failures
+        except Exception as exc:
+            failures += 1
+            if failures > max_retries:
+                raise
+            events.append(
+                FaultEvent(
+                    kind="retry",
+                    fragment_index=job.fragment_index,
+                    backend=job.backend.name,
+                    attempt=job.attempt,
+                    detail=f"{type(exc).__name__}: {exc} (worker-local)",
+                )
+            )
+            if backoff > 0:
+                time.sleep(min(backoff_cap, backoff * (2.0 ** (failures - 1))))
+
+
+def run_worker(
+    address,
+    slots: int = 2,
+    name: str | None = None,
+    transport: Transport | None = None,
+) -> None:
+    """Join the coordinator at ``address`` and serve jobs until told to stop.
+
+    Blocks for the life of the connection; returns when the coordinator
+    sends ``stop`` or closes the connection.  ``slots`` is the number of
+    jobs this worker executes concurrently (a thread pool — the engine's
+    backends release the GIL in their numpy kernels; CPU-bound fleets
+    simply run more single-slot workers).
+    """
+    if transport is None:
+        transport = connect(address)
+    name = name or f"worker-{os.getpid()}"
+    slots = max(1, int(slots))
+    transport.send(
+        {"type": "hello", "role": "worker", "name": name, "slots": slots, "pid": os.getpid()}
+    )
+    welcome = transport.recv()
+    if not welcome or welcome.get("type") != "welcome":
+        raise ConnectionError(f"coordinator refused worker handshake: {welcome!r}")
+
+    pool = ThreadPoolExecutor(max_workers=slots, thread_name_prefix=name)
+    stop = threading.Event()
+
+    def handle(jid, job, policy):
+        job.in_process = True  # a chaos crash here is a real os._exit
+        started = time.monotonic()
+        try:
+            value, events, failures = _execute_with_retries(job, policy)
+        except Exception as exc:
+            if stop.is_set():
+                return
+            transport.send(
+                {
+                    "type": "job_error",
+                    "jid": jid,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "exception": exc,
+                    "traceback": traceback.format_exc(),
+                    "failures": int(policy.get("max_retries", 0)) + 1,
+                    "worker": name,
+                }
+            )
+            return
+        if stop.is_set():
+            return
+        transport.send(
+            {
+                "type": "job_result",
+                "jid": jid,
+                "value": value,
+                "faults": events,
+                "failures": failures,
+                "elapsed": time.monotonic() - started,
+                "worker": name,
+            }
+        )
+
+    try:
+        while True:
+            try:
+                message = transport.recv()
+            except (ConnectionError, OSError):
+                break
+            if message is None:
+                break
+            kind = message.get("type")
+            if kind == "stop":
+                break
+            if kind == "ping":
+                transport.send({"type": "pong", "worker": name})
+                continue
+            if kind == "job":
+                pool.submit(
+                    handle,
+                    message["jid"],
+                    message["job"],
+                    message.get("policy", {}),
+                )
+                continue
+            # unknown message: protocol drift — say so rather than hang
+            transport.send(
+                {"type": "worker_error", "error": f"unknown message type {kind!r}"}
+            )
+    finally:
+        stop.set()
+        pool.shutdown(wait=False, cancel_futures=True)
+        transport.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="repro execution-service worker",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address to join",
+    )
+    parser.add_argument(
+        "--slots",
+        type=int,
+        default=2,
+        help="concurrent jobs this worker executes (default: 2)",
+    )
+    parser.add_argument("--name", default=None, help="worker name in stats")
+    args = parser.parse_args(argv)
+    run_worker(args.connect, slots=args.slots, name=args.name)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry point
+    sys.exit(main())

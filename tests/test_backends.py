@@ -175,7 +175,29 @@ class TestVariantCache:
         assert cache.get(("x",)) is None
         cache.put(("x",), 42)
         assert cache.get(("x",)) == 42
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+        assert stats["evictions"] == 0
+        assert stats["bytes"] > 0
+
+    def test_eviction_and_bytes_gauges(self):
+        import numpy as np
+
+        cache = VariantCache(maxsize=2)
+        payload = np.zeros(1024, dtype=np.uint8)
+        cache.put(("a",), payload)
+        assert cache.stats()["bytes"] >= payload.nbytes
+        cache.put(("b",), payload)
+        cache.put(("c",), payload)  # evicts a
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["entries"] == 2
+        # the gauge tracks live entries, not lifetime puts
+        assert stats["bytes"] < 3 * payload.nbytes + 4096
+        cache.clear()
+        assert cache.stats()["bytes"] == 0
 
 
 class TestSuperSimIntegration:
