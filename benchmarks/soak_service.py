@@ -16,6 +16,14 @@ Usage::
 Environment knobs for longer soaks: ``SOAK_CLIENTS``, ``SOAK_POINTS``,
 ``SOAK_WORKERS`` (defaults 4 / 6 / 2 keep the CI smoke under a minute).
 
+``SOAK_CHAOS=1`` turns on the chaos-under-load leg: mid-soak one worker
+is SIGKILLed and a replacement spawned, measuring how long the fleet
+takes to recover (``recovery_seconds``) and how many jobs the
+coordinator had to requeue (``jobs_requeued``) — both recorded in
+``BENCH_service.json``.  The floors tighten accordingly: the worker
+loss must be observed, every point must still complete, and the
+determinism floor is unchanged — a kill may move work, never numbers.
+
 Exit code is non-zero when the run violates the floors asserted at the
 bottom: every point must complete, results must agree across clients
 sweeping the same angle (bit-for-bit determinism is the service's
@@ -35,7 +43,7 @@ import threading
 import time
 
 from repro.circuits import Circuit, gates
-from repro.core import SamplingConfig
+from repro.core import ExecutionConfig, SamplingConfig
 from repro.service import Coordinator, ServiceClient
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -45,6 +53,7 @@ SRC = str(REPO_ROOT / "src")
 CLIENTS = int(os.environ.get("SOAK_CLIENTS", "4"))
 POINTS = int(os.environ.get("SOAK_POINTS", "6"))
 WORKERS = int(os.environ.get("SOAK_WORKERS", "2"))
+CHAOS = os.environ.get("SOAK_CHAOS", "0") not in ("", "0")
 
 
 def make_circuit(theta: float) -> Circuit:
@@ -77,7 +86,12 @@ def spawn_workers(address: str, n: int) -> list:
 def client_sweep(address: str, tenant: str, thetas, latencies, outcomes):
     """One client's sweep; appends (theta, P(0)) and per-point latency."""
     sampling = SamplingConfig(shots=1000, seed=29)
-    with ServiceClient(address, sampling=sampling, tenant=tenant) as client:
+    # under chaos a worker dies mid-sweep: ride it out via the fault
+    # taxonomy (crash -> requeue) instead of surfacing the crash
+    execution = ExecutionConfig(failure_policy="retry") if CHAOS else None
+    with ServiceClient(
+        address, sampling=sampling, tenant=tenant, execution=execution
+    ) as client:
         last = time.perf_counter()
         for point in client.sweep(make_circuit, thetas):
             now = time.perf_counter()
@@ -105,12 +119,37 @@ def main() -> int:
 
     latencies: list[float] = []
     outcomes: list[tuple] = []
+    recovery: dict = {}
     with Coordinator() as coordinator:
         workers = spawn_workers(coordinator.address, WORKERS)
         try:
             with ServiceClient(coordinator.address) as probe:
                 while len(probe.stats()["workers"]) < WORKERS:
                     time.sleep(0.05)
+
+            def chaos_leg():
+                # wait for load, SIGKILL one worker mid-soak, spawn a
+                # replacement, and time the fleet's return to strength
+                deadline = time.monotonic() + 60
+                while not outcomes and time.monotonic() < deadline:
+                    time.sleep(0.02)
+                victim = workers[0]
+                killed_at = time.perf_counter()
+                victim.kill()
+                victim.wait(timeout=10)
+                workers.extend(
+                    spawn_workers(coordinator.address, 1)
+                )
+                with ServiceClient(coordinator.address) as watcher:
+                    deadline = time.monotonic() + 60
+                    while time.monotonic() < deadline:
+                        live = watcher.stats()["workers"]
+                        if len(live) >= WORKERS:
+                            break
+                        time.sleep(0.05)
+                recovery["recovery_seconds"] = (
+                    time.perf_counter() - killed_at
+                )
 
             start = time.perf_counter()
             threads = [
@@ -121,6 +160,8 @@ def main() -> int:
                 )
                 for c in range(CLIENTS)
             ]
+            if CHAOS:
+                threads.append(threading.Thread(target=chaos_leg))
             for t in threads:
                 t.start()
             for t in threads:
@@ -159,6 +200,10 @@ def main() -> int:
         "jobs_completed": stats.get("jobs_completed", 0),
         "jobs_dispatched": stats.get("jobs_dispatched", 0),
         "workers_lost": stats.get("workers_lost", 0),
+        "chaos": CHAOS,
+        "jobs_requeued": stats.get("jobs_requeued", 0),
+        "heartbeat_deaths": stats.get("heartbeat_deaths", 0),
+        "recovery_seconds": recovery.get("recovery_seconds"),
     }
 
     # CI may be interrupted mid-write: stage to a tmp file and os.replace
@@ -185,7 +230,13 @@ def main() -> int:
             )
     if shared and hits == 0:
         failures.append("overlapping grids produced zero shared-cache hits")
-    if stats.get("workers_lost", 0):
+    if CHAOS:
+        # the kill must have been observed and survived
+        if not stats.get("workers_lost", 0):
+            failures.append("chaos leg ran but no worker loss was recorded")
+        if recovery.get("recovery_seconds") is None:
+            failures.append("fleet never returned to full strength")
+    elif stats.get("workers_lost", 0):
         failures.append(f"lost {stats['workers_lost']} workers during soak")
 
     if failures:

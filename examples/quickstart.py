@@ -131,6 +131,19 @@ def main() -> None:
     print(f"fault tolerance: {survived.faults.summary()} — "
           f"result bit-identical to the fault-free run")
 
+    # --- running as a service ------------------------------------------------
+    # The same pipeline runs as a long-lived shared service (repro.service):
+    # an asyncio coordinator prices requests with estimate()-based admission
+    # control and fans variant jobs out to worker subprocesses, while
+    # ServiceClient mirrors the run/sweep/submit surface bit-for-bit.  The
+    # service layer is resilient end to end: the coordinator journals
+    # accepted work in SQLite (--journal-db), so a SIGKILLed coordinator's
+    # successor recovers pending tickets and re-executes them to identical
+    # results; workers are heartbeat-monitored and auto-reconnect; clients
+    # retry with idempotency keys that never double-execute or
+    # double-charge.  See examples/service_demo.py (including a coordinator
+    # kill+restart mid-sweep) and tests/test_service_resilience.py.
+
 
 if __name__ == "__main__":
     main()

@@ -37,6 +37,11 @@ FAULT_KINDS = (
     "quarantine",
     "kernel_demotion",
     "replan",
+    # service-resilience kinds (coordinator/peer-level faults)
+    "peer_error",
+    "heartbeat_miss",
+    "reconnect",
+    "recovery",
 )
 
 
@@ -117,6 +122,17 @@ class ServiceError(ReproError):
     (:mod:`repro.service`): protocol violations, lost coordinator
     connections, requests failing server-side without a more specific
     engine error to forward."""
+
+
+class ConnectionLostError(ServiceError, ConnectionError):
+    """The connection to the coordinator dropped and could not be restored.
+
+    Raised by :class:`~repro.service.client.ServiceClient` and the worker
+    loop once their jittered-exponential-backoff reconnect budget is
+    exhausted (or reconnection is disabled).  Subclasses both
+    :class:`ServiceError` and :class:`ConnectionError`, so transport-level
+    ``except ConnectionError`` handlers keep working.
+    """
 
 
 class QuotaExceededError(ServiceError):

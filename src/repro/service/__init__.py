@@ -35,6 +35,7 @@ network only.
 
 __all__ = [
     "Coordinator",
+    "CoordinatorJournal",
     "ServiceClient",
     "Transport",
     "connect",
@@ -43,6 +44,7 @@ __all__ = [
 
 _EXPORTS = {
     "Coordinator": ("repro.service.coordinator", "Coordinator"),
+    "CoordinatorJournal": ("repro.service.journal", "CoordinatorJournal"),
     "ServiceClient": ("repro.service.client", "ServiceClient"),
     "Transport": ("repro.service.protocol", "Transport"),
     "connect": ("repro.service.protocol", "connect"),

@@ -81,6 +81,18 @@ class TokenBucket:
             "spent": self.spent,
         }
 
+    def restore(self, state: dict) -> None:
+        """Adopt a journaled bucket level (coordinator restart).
+
+        ``_last`` is reset to *now*, so no refill is credited for the
+        coordinator's downtime — a restart can never mint tokens.
+        """
+        self.tokens = min(float(state["tokens"]), self.capacity)
+        self.admitted = int(state.get("admitted", 0))
+        self.rejected = int(state.get("rejected", 0))
+        self.spent = float(state.get("spent", 0.0))
+        self._last = self._clock()
+
 
 class AdmissionController:
     """Per-tenant token buckets behind one thread-safe front door.
@@ -139,3 +151,41 @@ class AdmissionController:
                     for name, bucket in self._buckets.items()
                 },
             }
+
+    def snapshot(self) -> dict:
+        """Per-tenant bucket levels in journal form (no rate/capacity —
+        those are deployment configuration, not durable state)."""
+        if not self.enabled:
+            return {}
+        with self._lock:
+            out = {}
+            for name, bucket in self._buckets.items():
+                bucket._refill()
+                out[name] = {
+                    "tokens": bucket.tokens,
+                    "admitted": bucket.admitted,
+                    "rejected": bucket.rejected,
+                    "spent": bucket.spent,
+                }
+            return out
+
+    def restore(self, snapshot: dict) -> None:
+        """Adopt journaled bucket levels on coordinator restart.
+
+        Tenants unseen in the snapshot are unaffected; snapshotted
+        tenants get their bucket recreated at the journaled level (with
+        downtime refill deliberately not credited — see
+        :meth:`TokenBucket.restore`).
+        """
+        if not self.enabled or not snapshot:
+            return
+        with self._lock:
+            for tenant, state in snapshot.items():
+                bucket = self._buckets.get(tenant)
+                if bucket is None:
+                    bucket = self._buckets[tenant] = TokenBucket(
+                        self.rate, self.capacity, clock=self._clock
+                    )
+                bucket.restore(state)
+                self.admitted += bucket.admitted
+                self.rejected += bucket.rejected

@@ -31,15 +31,28 @@ A client is one request at a time (the protocol is request/response per
 connection); open one client per thread for concurrency — the
 coordinator multiplexes server-side, and the shared cache tier is what
 makes concurrent clients cheaper together than apart.
+
+The channel is self-healing: on a dropped connection the client
+reconnects with jittered exponential backoff and resends the request.
+Every mutating request carries a client-generated idempotency key, so
+the resend is safe — the coordinator recognises the duplicate and serves
+the memoised reply (or the original ticket) instead of executing or
+charging the token bucket twice.  Once the reconnect budget is spent,
+:class:`~repro.errors.ConnectionLostError` surfaces.  Pass
+``reconnect=False`` (or an explicit ``transport``) for fail-fast
+single-channel behaviour.
 """
 
 from __future__ import annotations
 
+import random
 import threading
+import time
+import uuid
 
 from repro.core.plan import CostEstimate
-from repro.errors import QuotaExceededError, ServiceError
-from repro.service.protocol import Transport, connect
+from repro.errors import ConnectionLostError, QuotaExceededError, ServiceError
+from repro.service.protocol import Transport, backoff_delay, connect
 
 __all__ = ["ServiceClient"]
 
@@ -75,6 +88,11 @@ class ServiceClient:
         priority: int = 0,
         transport: Transport | None = None,
         connect_timeout: float = 10.0,
+        reconnect: bool = True,
+        max_reconnects: int = 10,
+        reconnect_backoff: float = 0.25,
+        reconnect_backoff_cap: float = 2.0,
+        transport_factory=None,
     ):
         self.tenant = tenant
         self.priority = int(priority)
@@ -82,18 +100,76 @@ class ServiceClient:
         self.sampling = sampling
         self.execution = self._wire_safe_execution(execution)
         self.reconstruction = reconstruction
+        self.address = address
+        self._connect_timeout = connect_timeout
+        self._transport_factory = transport_factory
+        # an explicit transport is a single fixed channel: no reconnection
+        self._reconnect = bool(reconnect) and transport is None
+        self._max_reconnects = max(0, int(max_reconnects))
+        self._reconnect_backoff = float(reconnect_backoff)
+        self._reconnect_backoff_cap = float(reconnect_backoff_cap)
+        self._rng = random.Random()
+        self.reconnects = 0  # observable: how often the channel was rebuilt
         self._lock = threading.Lock()
         self._closed = False
         if transport is not None:
             self._transport = transport
+            self._handshake()
         else:
-            self._transport = connect(address, timeout=connect_timeout)
+            self._transport = None
+            self._connect()
+
+    def _connect(self) -> None:
+        if self._transport_factory is not None:
+            self._transport = self._transport_factory()
+        else:
+            self._transport = connect(
+                self.address, timeout=self._connect_timeout
+            )
+        self._handshake()
+
+    def _handshake(self) -> None:
         self._transport.send({"type": "hello", "role": "client"})
         welcome = self._transport.recv()
         if not welcome or welcome.get("type") != "welcome":
             raise ServiceError(
                 f"coordinator refused client handshake: {welcome!r}"
             )
+
+    def _reconnect_locked(self) -> None:
+        """Rebuild the channel with jittered exponential backoff.
+
+        Caller holds ``self._lock``.  Raises
+        :class:`~repro.errors.ConnectionLostError` once the budget is
+        spent — the caller's request is then genuinely undeliverable.
+        """
+        try:
+            self._transport.close()
+        except (OSError, RuntimeError):
+            pass
+        attempt = 0
+        last_exc: BaseException | None = None
+        while attempt < self._max_reconnects:
+            attempt += 1
+            time.sleep(
+                backoff_delay(
+                    attempt,
+                    self._reconnect_backoff,
+                    self._reconnect_backoff_cap,
+                    self._rng,
+                )
+            )
+            try:
+                self._connect()
+            except (ConnectionError, OSError, ServiceError) as exc:
+                last_exc = exc
+                continue
+            self.reconnects += 1
+            return
+        raise ConnectionLostError(
+            f"lost the coordinator at {self.address} and could not "
+            f"reconnect within {self._max_reconnects} attempts"
+        ) from last_exc
 
     @staticmethod
     def _wire_safe_execution(execution):
@@ -124,16 +200,22 @@ class ServiceClient:
     def _recv(self) -> dict:
         reply = self._transport.recv()
         if reply is None:
-            raise ServiceError("coordinator closed the connection")
+            raise ConnectionLostError("coordinator closed the connection")
         return reply
 
     def _raise_reply(self, reply: dict):
         kind = reply.get("type")
         if kind == "rejected":
             estimate = reply.get("estimate")
+            reason = reply.get("reason")
+            detail = (
+                "coordinator is draining"
+                if reason == "draining"
+                else "coordinator admission control rejected the request "
+                     f"(cost {reply.get('cost', 0.0):.3g})"
+            )
             raise QuotaExceededError(
-                "coordinator admission control rejected the request "
-                f"(cost {reply.get('cost', 0.0):.3g})",
+                detail,
                 retry_after=reply.get("retry_after"),
                 estimate=(
                     CostEstimate.from_dict(estimate)
@@ -148,10 +230,48 @@ class ServiceClient:
             raise ServiceError(f"request failed remotely: {reply.get('error')}")
         raise ServiceError(f"unexpected reply {kind!r}")
 
+    def _exchange(self, message: dict) -> dict:
+        """One send/recv with reconnect-and-resend.  Caller holds the lock.
+
+        Safe to resend because every mutating request carries a
+        client-generated idempotency key: the coordinator serves a
+        memoised reply (or the original ticket) for a duplicate instead
+        of executing or charging twice.  A ``draining`` rejection is also
+        retried here — backed off, against the coordinator's successor
+        once it takes over the address.
+        """
+        drain_retries = 0
+        while True:
+            try:
+                self._transport.send(message)
+                reply = self._recv()
+            except (ConnectionError, OSError):
+                if not self._reconnect or self._closed:
+                    raise
+                self._reconnect_locked()
+                continue
+            if (
+                reply.get("type") == "rejected"
+                and reply.get("reason") == "draining"
+                and self._reconnect
+                and drain_retries < self._max_reconnects
+            ):
+                drain_retries += 1
+                time.sleep(
+                    backoff_delay(
+                        drain_retries,
+                        max(self._reconnect_backoff,
+                            float(reply.get("retry_after") or 0.0)),
+                        self._reconnect_backoff_cap,
+                        self._rng,
+                    )
+                )
+                continue
+            return reply
+
     def _roundtrip(self, message: dict, expect: str) -> dict:
         with self._lock:
-            self._transport.send(message)
-            reply = self._recv()
+            reply = self._exchange(message)
         if reply.get("type") != expect:
             self._raise_reply(reply)
         return reply
@@ -171,6 +291,7 @@ class ServiceClient:
                 "circuit": circuit,
                 "keep_qubits": keep_qubits,
                 "cuts": cuts,
+                "idempotency": uuid.uuid4().hex,
                 **self._request_fields(),
             },
             expect="result",
@@ -212,35 +333,73 @@ class ServiceClient:
         circuits = [_materialize(circuit_factory, p) for p in params]
         if not circuits:
             return
+        message = {
+            "type": "sweep",
+            "circuits": circuits,
+            "params": params,
+            "keep_qubits": keep_qubits,
+            "reuse_cuts": reuse_cuts,
+            "idempotency": uuid.uuid4().hex,
+            **self._request_fields(),
+        }
+        # on a mid-stream connection loss the whole sweep is resent (the
+        # idempotency key stops a second quota charge; already-computed
+        # points replay as server-side cache hits) and points already
+        # yielded are deduplicated by index
+        seen: set[int] = set()
+        drain_retries = 0
         with self._lock:
-            self._transport.send(
-                {
-                    "type": "sweep",
-                    "circuits": circuits,
-                    "params": params,
-                    "keep_qubits": keep_qubits,
-                    "reuse_cuts": reuse_cuts,
-                    **self._request_fields(),
-                }
-            )
             while True:
-                reply = self._recv()
-                kind = reply.get("type")
-                if kind == "sweep_point":
-                    yield reply["point"]
-                elif kind == "sweep_done":
-                    return
-                else:
-                    self._raise_reply(reply)
+                try:
+                    self._transport.send(message)
+                    while True:
+                        reply = self._recv()
+                        kind = reply.get("type")
+                        if kind == "sweep_point":
+                            point = reply["point"]
+                            if point.index not in seen:
+                                seen.add(point.index)
+                                yield point
+                        elif kind == "sweep_done":
+                            return
+                        elif (
+                            kind == "rejected"
+                            and reply.get("reason") == "draining"
+                            and self._reconnect
+                            and drain_retries < self._max_reconnects
+                        ):
+                            drain_retries += 1
+                            time.sleep(
+                                backoff_delay(
+                                    drain_retries,
+                                    max(self._reconnect_backoff,
+                                        float(reply.get("retry_after") or 0.0)),
+                                    self._reconnect_backoff_cap,
+                                    self._rng,
+                                )
+                            )
+                            break  # resend the sweep against the successor
+                        else:
+                            self._raise_reply(reply)
+                except (ConnectionError, OSError):
+                    if not self._reconnect or self._closed:
+                        raise
+                    self._reconnect_locked()
 
     def submit(self, circuit, keep_qubits=None, cuts=None) -> str:
-        """Fire-and-forget ``run``: returns a ticket for :meth:`poll`."""
+        """Fire-and-forget ``run``: returns a ticket for :meth:`poll`.
+
+        The request carries a client-generated idempotency key, so a
+        resend after a dropped reply returns the *same* ticket — the
+        submit neither executes twice nor is charged twice.
+        """
         reply = self._roundtrip(
             {
                 "type": "submit",
                 "circuit": circuit,
                 "keep_qubits": keep_qubits,
                 "cuts": cuts,
+                "idempotency": uuid.uuid4().hex,
                 **self._request_fields(),
             },
             expect="submitted",
@@ -251,17 +410,27 @@ class ServiceClient:
         """The submitted run's result, or ``None`` while still executing.
 
         Raises exactly what :meth:`run` would have once the request has
-        failed or been rejected.
+        failed or been rejected.  A delivered terminal reply is
+        acknowledged back to the coordinator (best-effort) so it can
+        drop the retained result; an unacknowledged ticket stays
+        pollable until the coordinator's TTL expires it.
         """
         with self._lock:
-            self._transport.send({"type": "poll", "ticket": ticket})
-            reply = self._recv()
+            reply = self._exchange({"type": "poll", "ticket": ticket})
         kind = reply.get("type")
         if kind == "pending":
             return None
+        self._ack(ticket)
         if kind == "result":
             return reply["result"]
         self._raise_reply(reply)
+
+    def _ack(self, ticket: str) -> None:
+        try:
+            with self._lock:
+                self._exchange({"type": "ack", "ticket": ticket})
+        except (ConnectionError, OSError, ServiceError):
+            pass  # best-effort: the TTL sweep covers a lost acknowledgement
 
     # -- service introspection ----------------------------------------------
 
@@ -273,6 +442,22 @@ class ServiceClient:
         return self._roundtrip({"type": "cache_stats"}, expect="cache_stats")[
             "stats"
         ]
+
+    def ping(self) -> bool:
+        """Liveness probe: True iff the coordinator answered a ping."""
+        try:
+            reply = self._roundtrip({"type": "ping"}, expect="pong")
+        except (ConnectionError, OSError, ServiceError):
+            return False
+        return reply.get("type") == "pong"
+
+    def drain_coordinator(self, timeout: float = 30.0) -> dict:
+        """Gracefully drain the coordinator: stop admitting, finish
+        in-flight work, flush the journal.  Returns its final stats."""
+        reply = self._roundtrip(
+            {"type": "drain", "timeout": timeout}, expect="drained"
+        )
+        return reply["stats"]
 
     def shutdown_coordinator(self) -> None:
         """Ask the coordinator to stop (tests, demos, ops scripts)."""

@@ -37,10 +37,22 @@ while the engine's own pipeline stays intact end to end:
    served directly over ``cache_get`` / ``cache_put`` for
    :class:`~repro.backends.tiers.RemoteCacheTier` clients.
 
+5. **Resilience.**  With ``--journal-db`` the coordinator journals every
+   accepted request, completed reply, idempotency key and quota level to
+   SQLite (:class:`~repro.service.journal.CoordinatorJournal`) *before*
+   executing, so a restarted coordinator recovers pending tickets and
+   re-executes them; heartbeat ping/pong detects dead workers even on
+   half-open sockets and requeues their jobs through the crash taxonomy;
+   a peer sending garbage frames is disconnected alone (``peer_error``
+   fault) instead of tearing down the loop; and ``drain()`` / SIGTERM
+   stops admitting, finishes in-flight work and flushes the journal.
+
 Determinism survives distribution because job seeds derive from content
 fingerprints before dispatch: *where* a job runs, how often it was
 retried, and in what order results return never change a single bit of
-the output.
+the output.  That same invariant is what makes journal-replay recovery
+exact: a re-executed ticket produces the bit-identical result the dead
+coordinator would have returned.
 
 ``python -m repro.service.coordinator [--port P] [--quota-rate R] ...``
 runs a standalone coordinator; tests and notebooks use
@@ -54,20 +66,24 @@ import asyncio
 import dataclasses
 import heapq
 import itertools
+import signal
 import sys
 import threading
 import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.backends.cache import resolve_cache
 from repro.errors import (
     BackendExecutionError,
     FaultEvent,
+    FaultReport,
     JobTimeoutError,
     ServiceError,
     WorkerCrashError,
 )
 from repro.service.admission import AdmissionController
+from repro.service.journal import CoordinatorJournal
 from repro.service.protocol import read_message, write_message
 
 __all__ = ["Coordinator", "main"]
@@ -81,21 +97,26 @@ class _WorkerHandle:
         "name",
         "slots",
         "writer",
+        "wlock",
         "inflight",
         "peak_inflight",
         "completed",
         "alive",
+        "last_seen",
     )
 
-    def __init__(self, wid: int, name: str, slots: int, writer):
+    def __init__(self, wid: int, name: str, slots: int, writer, now: float):
         self.wid = wid
         self.name = name
         self.slots = max(1, int(slots))
         self.writer = writer
+        # jobs and heartbeat pings share the stream: serialise writes
+        self.wlock = asyncio.Lock()
         self.inflight: set[int] = set()
         self.peak_inflight = 0
         self.completed = 0
         self.alive = True
+        self.last_seen = now
 
 
 class _PendingJob:
@@ -169,6 +190,16 @@ class Coordinator:
     SQLite for durability), or ``False`` to disable sharing.
     ``quota_rate`` / ``quota_capacity`` enable admission control
     (cost units per second / burst); ``None`` admits everything.
+
+    ``journal`` accepts a path (or an existing
+    :class:`~repro.service.journal.CoordinatorJournal`) to make accepted
+    work durable: a coordinator restarted on the same journal recovers
+    pending tickets, completed-but-unacknowledged replies, idempotency
+    keys and per-tenant quota levels.  ``heartbeat_interval`` /
+    ``heartbeat_misses`` configure proactive worker liveness (``None``
+    disables pings and falls back to TCP disconnect detection);
+    ``ticket_ttl`` bounds how long completed tickets and idempotency
+    keys are retained awaiting a client acknowledgement.
     """
 
     def __init__(
@@ -182,6 +213,10 @@ class Coordinator:
         cache=True,
         clock=time.monotonic,
         request_threads: int = 8,
+        journal=None,
+        ticket_ttl: float = 600.0,
+        heartbeat_interval: float | None = 5.0,
+        heartbeat_misses: int = 3,
     ):
         self.host = host
         self.port = port
@@ -190,6 +225,21 @@ class Coordinator:
             quota_rate, quota_capacity, clock=clock
         )
         self.max_inflight_per_worker = max(1, int(max_inflight_per_worker))
+        if journal is None or journal is False:
+            self.journal = None
+            self._owns_journal = False
+        elif isinstance(journal, CoordinatorJournal):
+            self.journal = journal
+            self._owns_journal = False
+        else:
+            self.journal = CoordinatorJournal(journal)
+            self._owns_journal = True
+        self.ticket_ttl = float(ticket_ttl)
+        self.heartbeat_interval = (
+            float(heartbeat_interval) if heartbeat_interval else None
+        )
+        self.heartbeat_misses = max(1, int(heartbeat_misses))
+        self.faults = FaultReport()  # coordinator-level ledger (peer faults)
         self.address: str | None = None
         self.loop: asyncio.AbstractEventLoop | None = None
         self._server = None
@@ -204,6 +254,13 @@ class Coordinator:
         self._kick: asyncio.Event | None = None
         self._stopping: asyncio.Event | None = None
         self._tickets: dict[str, dict] = {}
+        self._ticket_done: dict[str, float] = {}  # ticket -> completion time
+        self._idem_tickets: dict[str, str] = {}  # idempotency key -> ticket
+        self._idem_done: dict[str, tuple[dict, float]] = {}  # key -> (reply, t)
+        self._idem_futures: dict[str, asyncio.Future] = {}  # key -> in flight
+        self._idem_admitted: dict[str, float] = {}  # key -> admission time
+        self._draining = False
+        self._active_requests = 0
         self._tasks: set[asyncio.Task] = set()
         self._thread: threading.Thread | None = None
         self.counters = {
@@ -214,7 +271,14 @@ class Coordinator:
             "jobs_dispatched": 0,
             "jobs_completed": 0,
             "jobs_local": 0,
+            "jobs_requeued": 0,
             "workers_lost": 0,
+            "peer_errors": 0,
+            "heartbeat_deaths": 0,
+            "recovered_tickets": 0,
+            "acks": 0,
+            "idempotent_hits": 0,
+            "expired_tickets": 0,
         }
 
     # -- lifecycle -----------------------------------------------------------
@@ -231,7 +295,68 @@ class Coordinator:
         self.address = f"{bound[0]}:{bound[1]}"
         self._spawn(self._dispatch_loop())
         self._spawn(self._deadline_loop())
+        if self.heartbeat_interval is not None:
+            self._spawn(self._heartbeat_loop())
+        if self.ticket_ttl > 0:
+            self._spawn(self._gc_loop())
+        self._recover()
         return self.address
+
+    def _recover(self) -> None:
+        """Adopt the journal of a dead predecessor (same ``--journal-db``).
+
+        Quota levels and idempotency keys are restored first — so
+        recovered re-executions and client retries are never charged a
+        second time — then ``done`` submit replies go back into the
+        ticket table awaiting their poll, and ``pending`` submits are
+        re-executed from the journaled request (fingerprint-derived job
+        seeds make the re-run bit-identical to what the dead coordinator
+        would have produced).  Pending ``run`` / ``sweep`` entries are
+        abandoned: their reply channel died with the old process and the
+        client's own reconnect-and-retry resends them.
+        """
+        if self.journal is None:
+            return
+        quota = self.journal.load_quota()
+        if quota:
+            self.admission.restore(quota)
+        now = time.monotonic()
+        for ticket, kind, tenant, idem, state, msg, reply in (
+            self.journal.entries()
+        ):
+            if state == "done":
+                rejected = (
+                    isinstance(reply, dict) and reply.get("type") == "rejected"
+                )
+                if idem and not rejected:
+                    self._idem_admitted[idem] = now
+                    if kind == "submit":
+                        self._idem_tickets[idem] = ticket
+                    elif kind == "run" and reply is not None:
+                        self._idem_done[idem] = (reply, now)
+                if kind == "submit" and reply is not None:
+                    self._tickets[ticket] = reply
+                    self._ticket_done[ticket] = now
+            elif state == "pending":
+                if idem:
+                    self._idem_admitted[idem] = now
+                if kind == "submit" and msg is not None:
+                    if idem:
+                        self._idem_tickets[idem] = ticket
+                    self._tickets[ticket] = {"type": "pending"}
+                    self.counters["recovered_tickets"] += 1
+                    self.faults.record(
+                        "recovery",
+                        detail=(
+                            f"re-executing journaled ticket {ticket} "
+                            f"(tenant {tenant})"
+                        ),
+                    )
+                    self._spawn(self._complete_submit(ticket, msg, idem))
+                else:
+                    # run/sweep reply channels died with the old process;
+                    # the reconnecting client retries them itself
+                    self.journal.abandon(ticket)
 
     async def serve_forever(self) -> None:
         await self._stopping.wait()
@@ -257,6 +382,20 @@ class Coordinator:
         self._server.close()
         await self._server.wait_closed()
         self._executor.shutdown(wait=False, cancel_futures=True)
+        # bounded join of request threads so no process-pool children are
+        # orphaned; joined off-loop so pending run_coroutine_threadsafe
+        # results can still flush back to the threads being joined
+        threads = list(getattr(self._executor, "_threads", ()))
+        if threads:
+            def _join_all():
+                deadline = time.monotonic() + 5.0
+                for thread in threads:
+                    thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            await self.loop.run_in_executor(None, _join_all)
+        if self.journal is not None:
+            self.journal.flush()
+            if self._owns_journal:
+                self.journal.close()
 
     def _spawn(self, coro) -> asyncio.Task:
         task = self.loop.create_task(coro)
@@ -306,6 +445,31 @@ class Coordinator:
             self._thread.join(timeout=timeout)
             self._thread = None
 
+    async def _drain_async(self, timeout: float = 30.0) -> None:
+        """Graceful drain: stop admitting, finish in-flight, flush journal.
+
+        New ``run`` / ``sweep`` / ``submit`` requests are rejected with
+        ``reason="draining"`` (a retryable rejection — reconnecting
+        clients back off and try the successor); requests and jobs
+        already accepted run to completion (bounded by ``timeout``).
+        """
+        self._draining = True
+        deadline = self.loop.time() + max(0.0, timeout)
+        while self._active_requests > 0 or self._jobs or self._queue:
+            if self.loop.time() >= deadline:
+                break
+            await asyncio.sleep(0.05)
+        if self.journal is not None:
+            self.journal.flush()
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Thread-safe :meth:`_drain_async` (pairs with ``shutdown``)."""
+        if self.loop is None or not self.loop.is_running():
+            return
+        asyncio.run_coroutine_threadsafe(
+            self._drain_async(timeout), self.loop
+        ).result(timeout=timeout + 10.0)
+
     def __enter__(self) -> "Coordinator":
         self.start_in_thread()
         return self
@@ -321,18 +485,34 @@ class Coordinator:
             if not hello or hello.get("type") != "hello":
                 writer.close()
                 return
-            await write_message(writer, {"type": "welcome", "version": 1})
+            await write_message(writer, {
+                "type": "welcome",
+                "version": 1,
+                "heartbeat": self.heartbeat_interval,
+                "heartbeat_misses": self.heartbeat_misses,
+            })
             if hello.get("role") == "worker":
                 await self._worker_loop(hello, reader, writer)
             else:
                 await self._client_loop(hello, reader, writer)
         except (ConnectionError, OSError, asyncio.CancelledError):
             pass
+        except Exception as exc:
+            # a corrupt/oversize/garbage frame from one peer must never
+            # tear down the coordinator: disconnect that peer, keep serving
+            self._peer_error(exc)
         finally:
             try:
                 writer.close()
             except RuntimeError:  # pragma: no cover - loop tearing down
                 pass
+
+    def _peer_error(self, exc: BaseException) -> None:
+        self.counters["peer_errors"] += 1
+        self.faults.record(
+            "peer_error",
+            detail=f"{type(exc).__name__}: {exc}; peer disconnected",
+        )
 
     # -- worker side ---------------------------------------------------------
 
@@ -343,6 +523,7 @@ class Coordinator:
             name=str(hello.get("name", f"worker-{wid}")),
             slots=int(hello.get("slots", 1)),
             writer=writer,
+            now=self.loop.time(),
         )
         self._workers[wid] = handle
         self._kick.set()
@@ -351,12 +532,13 @@ class Coordinator:
                 message = await read_message(reader)
                 if message is None:
                     break
+                handle.last_seen = self.loop.time()
                 kind = message.get("type")
                 if kind == "job_result":
                     self._on_job_result(handle, message)
                 elif kind == "job_error":
                     self._on_job_error(handle, message)
-                # pong / worker_error need no bookkeeping
+                # pong / worker_error need no bookkeeping beyond last_seen
         except (ConnectionError, OSError):
             pass
         finally:
@@ -486,6 +668,7 @@ class Coordinator:
         # known prior failures feed the attempt counter, so a chaos
         # schedule bounded by fail_attempts converges on redispatch
         pending.job.attempt = pending.failures + pending.crashes
+        self.counters["jobs_requeued"] += 1
         heapq.heappush(
             self._queue, (pending.ctx.priority, next(self._seq), pending.jid)
         )
@@ -537,15 +720,16 @@ class Coordinator:
             pending.deadline = self.loop.time() + pending.job.timeout
         self.counters["jobs_dispatched"] += 1
         try:
-            await write_message(
-                handle.writer,
-                {
-                    "type": "job",
-                    "jid": pending.jid,
-                    "job": pending.job,
-                    "policy": pending.ctx.worker_policy(),
-                },
-            )
+            async with handle.wlock:
+                await write_message(
+                    handle.writer,
+                    {
+                        "type": "job",
+                        "jid": pending.jid,
+                        "job": pending.job,
+                        "policy": pending.ctx.worker_policy(),
+                    },
+                )
         except (ConnectionError, OSError):
             self._on_worker_lost(handle)
 
@@ -599,6 +783,71 @@ class Coordinator:
                                 attempts=pending.failures + pending.crashes,
                             )
                         )
+
+    # -- liveness & garbage collection ----------------------------------------
+
+    async def _heartbeat_loop(self) -> None:
+        """Proactive worker liveness: ping every interval, declare a worker
+        dead after ``heartbeat_misses`` silent intervals (even when the TCP
+        connection is still nominally up — half-open sockets, frozen
+        processes) and requeue its in-flight jobs through the crash path."""
+        interval = self.heartbeat_interval
+        while not self._stopping.is_set():
+            await asyncio.sleep(interval)
+            now = self.loop.time()
+            for handle in list(self._workers.values()):
+                if now - handle.last_seen > interval * self.heartbeat_misses:
+                    self.counters["heartbeat_deaths"] += 1
+                    self.faults.record(
+                        "heartbeat_miss",
+                        detail=(
+                            f"worker {handle.name} silent for "
+                            f"{now - handle.last_seen:.2f}s "
+                            f"(> {self.heartbeat_misses} x {interval:.2f}s); "
+                            f"declared dead"
+                        ),
+                    )
+                    try:
+                        handle.writer.close()
+                    except (RuntimeError, OSError):
+                        pass
+                    self._on_worker_lost(handle)
+                    continue
+                self._spawn(self._ping_worker(handle))
+
+    async def _ping_worker(self, handle: _WorkerHandle) -> None:
+        try:
+            async with handle.wlock:
+                await write_message(handle.writer, {"type": "ping"})
+        except (ConnectionError, OSError, RuntimeError):
+            self._on_worker_lost(handle)
+
+    async def _gc_loop(self) -> None:
+        """TTL sweep: expire completed-but-unacknowledged tickets, stale
+        idempotency keys, and finished journal entries."""
+        period = min(1.0, max(0.05, self.ticket_ttl / 4))
+        while not self._stopping.is_set():
+            await asyncio.sleep(period)
+            now = time.monotonic()
+            ttl = self.ticket_ttl
+            for ticket, done_at in list(self._ticket_done.items()):
+                if now - done_at > ttl:
+                    self._ticket_done.pop(ticket, None)
+                    if self._tickets.pop(ticket, None) is not None:
+                        self.counters["expired_tickets"] += 1
+                    if self.journal is not None:
+                        self.journal.acknowledge(ticket)
+            for key, stamp in list(self._idem_admitted.items()):
+                if now - stamp > ttl:
+                    self._idem_admitted.pop(key, None)
+            for key, (_, stamp) in list(self._idem_done.items()):
+                if now - stamp > ttl:
+                    self._idem_done.pop(key, None)
+            for key, ticket in list(self._idem_tickets.items()):
+                if ticket not in self._tickets:
+                    self._idem_tickets.pop(key, None)
+            if self.journal is not None:
+                self.journal.expire(ttl, now=time.time())
 
     # -- local (degraded) execution -----------------------------------------
 
@@ -722,10 +971,21 @@ class Coordinator:
             execution=execution,
         )
 
-    def _admit(self, ctx: _RequestContext, estimate, points: int = 1):
+    def _admit(self, ctx: _RequestContext, estimate, points: int = 1,
+               key: str | None = None):
+        # a client retry of an already-admitted request (idempotency key
+        # seen before, possibly journaled by a dead predecessor) is not
+        # charged a second time
+        if key is not None and key in self._idem_admitted:
+            self.counters["idempotent_hits"] += 1
+            return None
         cost = estimate.total_cost * max(1, points)
         ok, retry_after = self.admission.admit(ctx.tenant, cost)
         if ok:
+            if key is not None:
+                self._idem_admitted[key] = time.monotonic()
+            if self.journal is not None and self.admission.enabled:
+                self.journal.save_quota(self.admission.snapshot())
             return None
         self.counters["rejected"] += 1
         return {
@@ -738,16 +998,21 @@ class Coordinator:
     def _execute_run(self, msg: dict) -> dict:
         ctx = self._make_ctx(msg)
         sim = self._build_sim(msg, ctx)
-        plan = sim.plan(
-            msg["circuit"],
-            keep_qubits=msg.get("keep_qubits"),
-            cuts=msg.get("cuts"),
-        )
-        estimate = plan.estimate()
-        rejection = self._admit(ctx, estimate)
-        if rejection is not None:
-            return rejection
-        result = plan.execute()
+        try:
+            plan = sim.plan(
+                msg["circuit"],
+                keep_qubits=msg.get("keep_qubits"),
+                cuts=msg.get("cuts"),
+            )
+            estimate = plan.estimate()
+            rejection = self._admit(
+                ctx, estimate, key=msg.get("idempotency")
+            )
+            if rejection is not None:
+                return rejection
+            result = plan.execute()
+        finally:
+            sim.close()  # release any coordinator-local pools per request
         self.counters["completed"] += 1
         return {
             "type": "result",
@@ -758,37 +1023,49 @@ class Coordinator:
     def _execute_estimate(self, msg: dict) -> dict:
         ctx = self._make_ctx(msg)
         sim = self._build_sim(msg, ctx)
-        plan = sim.plan(
-            msg["circuit"],
-            keep_qubits=msg.get("keep_qubits"),
-            cuts=msg.get("cuts"),
-        )
-        return {"type": "estimate", "estimate": plan.estimate().to_dict()}
+        try:
+            plan = sim.plan(
+                msg["circuit"],
+                keep_qubits=msg.get("keep_qubits"),
+                cuts=msg.get("cuts"),
+            )
+            return {"type": "estimate", "estimate": plan.estimate().to_dict()}
+        finally:
+            sim.close()
 
-    def _execute_sweep(self, msg: dict, send) -> None:
+    def _execute_sweep(self, msg: dict, send) -> bool:
+        """Returns True when the sweep was admitted and ran (False =
+        quota-rejected, so the caller must not journal it as done)."""
         ctx = self._make_ctx(msg)
         sim = self._build_sim(msg, ctx)
-        circuits = msg["circuits"]
-        params = msg.get("params") or list(range(len(circuits)))
-        estimate = sim.plan(
-            circuits[0], keep_qubits=msg.get("keep_qubits")
-        ).estimate()
-        rejection = self._admit(ctx, estimate, points=len(circuits))
-        if rejection is not None:
-            send(rejection)
-            return
-        count = 0
-        for point in sim.sweep(
-            lambda i: circuits[i],
-            range(len(circuits)),
-            keep_qubits=msg.get("keep_qubits"),
-            reuse_cuts=msg.get("reuse_cuts", True),
-        ):
-            point = dataclasses.replace(point, params=params[point.index])
-            send({"type": "sweep_point", "point": point})
-            count += 1
+        try:
+            circuits = msg["circuits"]
+            params = msg.get("params") or list(range(len(circuits)))
+            estimate = sim.plan(
+                circuits[0], keep_qubits=msg.get("keep_qubits")
+            ).estimate()
+            rejection = self._admit(
+                ctx, estimate, points=len(circuits),
+                key=msg.get("idempotency"),
+            )
+            if rejection is not None:
+                send(rejection)
+                return False
+            count = 0
+            for point in sim.sweep(
+                lambda i: circuits[i],
+                range(len(circuits)),
+                keep_qubits=msg.get("keep_qubits"),
+                reuse_cuts=msg.get("reuse_cuts", True),
+            ):
+                point = dataclasses.replace(point, params=params[point.index])
+                send({"type": "sweep_point", "point": point})
+                count += 1
+        finally:
+            sim.close()
         self.counters["completed"] += 1
         send({"type": "sweep_done", "count": count})
+        return True
 
     # -- client side ---------------------------------------------------------
 
@@ -832,48 +1109,49 @@ class Coordinator:
 
         return send
 
+    def _new_ticket(self) -> str:
+        # uuid-based so tickets from a dead coordinator can never collide
+        # with its successor's (a counter restarts at 1)
+        return f"t-{uuid.uuid4().hex[:12]}"
+
+    def _drain_rejection(self) -> dict | None:
+        if not self._draining:
+            return None
+        self.counters["rejected"] += 1
+        return {"type": "rejected", "reason": "draining", "retry_after": 1.0}
+
     async def _msg_run(self, message, writer, lock) -> None:
+        key = message.get("idempotency")
+        if key is not None:
+            done = self._idem_done.get(key)
+            if done is not None:
+                # retry after a dropped reply frame: serve the memoised
+                # reply, execute nothing, charge nothing
+                self.counters["idempotent_hits"] += 1
+                await self._send(writer, lock, done[0])
+                return
+            inflight = self._idem_futures.get(key)
+            if inflight is not None:
+                self.counters["idempotent_hits"] += 1
+                reply = await asyncio.shield(inflight)
+                await self._send(writer, lock, reply)
+                return
+        rejection = self._drain_rejection()
+        if rejection is not None:
+            await self._send(writer, lock, rejection)
+            return
         self.counters["requests"] += 1
-        try:
-            reply = await self.loop.run_in_executor(
-                self._executor, self._execute_run, message
+        ticket = self._new_ticket()
+        if self.journal is not None:
+            self.journal.record_request(
+                ticket, "run", str(message.get("tenant", "default")),
+                message, idempotency=key,
             )
-        except Exception as exc:
-            self.counters["errors"] += 1
-            reply = {
-                "type": "error",
-                "error": f"{type(exc).__name__}: {exc}",
-                "exception": exc,
-            }
-        await self._send(writer, lock, reply)
-
-    async def _msg_estimate(self, message, writer, lock) -> None:
-        reply = await self.loop.run_in_executor(
-            self._executor, self._execute_estimate, message
-        )
-        await self._send(writer, lock, reply)
-
-    async def _msg_sweep(self, message, writer, lock) -> None:
-        self.counters["requests"] += 1
-        send = self._thread_sender(writer, lock)
+        future = self.loop.create_future() if key is not None else None
+        if future is not None:
+            self._idem_futures[key] = future
+        self._active_requests += 1
         try:
-            await self.loop.run_in_executor(
-                self._executor, self._execute_sweep, message, send
-            )
-        except Exception as exc:
-            self.counters["errors"] += 1
-            await self._send(writer, lock, {
-                "type": "error",
-                "error": f"{type(exc).__name__}: {exc}",
-                "exception": exc,
-            })
-
-    async def _msg_submit(self, message, writer, lock) -> None:
-        self.counters["requests"] += 1
-        ticket = f"t{next(self._ids)}"
-        self._tickets[ticket] = {"type": "pending"}
-
-        async def complete():
             try:
                 reply = await self.loop.run_in_executor(
                     self._executor, self._execute_run, message
@@ -885,19 +1163,156 @@ class Coordinator:
                     "error": f"{type(exc).__name__}: {exc}",
                     "exception": exc,
                 }
-            self._tickets[ticket] = reply
+        finally:
+            self._active_requests -= 1
+            if key is not None:
+                self._idem_futures.pop(key, None)
+        if reply.get("type") == "rejected":
+            # rejections are not memoised: a later retry re-attempts
+            if self.journal is not None:
+                self.journal.acknowledge(ticket)
+        else:
+            if key is not None:
+                self._idem_done[key] = (reply, time.monotonic())
+            if self.journal is not None:
+                self.journal.record_reply(
+                    ticket, reply if key is not None else None
+                )
+        if future is not None and not future.done():
+            future.set_result(reply)
+        await self._send(writer, lock, reply)
 
-        self._spawn(complete())
+    async def _msg_estimate(self, message, writer, lock) -> None:
+        reply = await self.loop.run_in_executor(
+            self._executor, self._execute_estimate, message
+        )
+        await self._send(writer, lock, reply)
+
+    async def _msg_sweep(self, message, writer, lock) -> None:
+        rejection = self._drain_rejection()
+        if rejection is not None:
+            await self._send(writer, lock, rejection)
+            return
+        self.counters["requests"] += 1
+        ticket = self._new_ticket()
+        if self.journal is not None:
+            # the stream is client-driven (a retry resends the circuits and
+            # dedupes points), so only admission is journaled, not the batch
+            self.journal.record_request(
+                ticket, "sweep", str(message.get("tenant", "default")),
+                None, idempotency=message.get("idempotency"),
+            )
+        send = self._thread_sender(writer, lock)
+        self._active_requests += 1
+        try:
+            try:
+                admitted = await self.loop.run_in_executor(
+                    self._executor, self._execute_sweep, message, send
+                )
+            except Exception as exc:
+                self.counters["errors"] += 1
+                if self.journal is not None:
+                    self.journal.abandon(ticket)
+                await self._send(writer, lock, {
+                    "type": "error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "exception": exc,
+                })
+                return
+        finally:
+            self._active_requests -= 1
+        if self.journal is not None:
+            if admitted:
+                self.journal.record_reply(ticket, None)
+            else:
+                self.journal.acknowledge(ticket)
+
+    async def _complete_submit(self, ticket: str, message: dict,
+                               key: str | None = None) -> None:
+        self._active_requests += 1
+        try:
+            try:
+                reply = await self.loop.run_in_executor(
+                    self._executor, self._execute_run, message
+                )
+            except Exception as exc:
+                self.counters["errors"] += 1
+                reply = {
+                    "type": "error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "exception": exc,
+                }
+        finally:
+            self._active_requests -= 1
+        self._tickets[ticket] = reply
+        self._ticket_done[ticket] = time.monotonic()
+        if reply.get("type") == "rejected" and key is not None:
+            # quota rejections are not idempotent: a later resubmit with
+            # the same key must get a fresh admission attempt
+            if self._idem_tickets.get(key) == ticket:
+                self._idem_tickets.pop(key, None)
+        if self.journal is not None:
+            self.journal.record_reply(ticket, reply)
+
+    async def _msg_submit(self, message, writer, lock) -> None:
+        key = message.get("idempotency")
+        if key is not None:
+            existing = self._idem_tickets.get(key)
+            if existing is not None:
+                # a retried submit after a dropped reply: same ticket, no
+                # second execution, no second quota charge
+                self.counters["idempotent_hits"] += 1
+                await self._send(writer, lock, {
+                    "type": "submitted",
+                    "ticket": existing,
+                    "duplicate": True,
+                })
+                return
+        rejection = self._drain_rejection()
+        if rejection is not None:
+            await self._send(writer, lock, rejection)
+            return
+        self.counters["requests"] += 1
+        ticket = self._new_ticket()
+        self._tickets[ticket] = {"type": "pending"}
+        if key is not None:
+            self._idem_tickets[key] = ticket
+        if self.journal is not None:
+            self.journal.record_request(
+                ticket, "submit", str(message.get("tenant", "default")),
+                message, idempotency=key,
+            )
+        self._spawn(self._complete_submit(ticket, message, key))
         await self._send(writer, lock, {"type": "submitted", "ticket": ticket})
 
     async def _msg_poll(self, message, writer, lock) -> None:
         ticket = message.get("ticket")
         reply = self._tickets.get(ticket)
         if reply is None:
+            # the ticket is kept until acknowledged or TTL-expired, so an
+            # unknown ticket here really is unknown (or expired), not a
+            # completed result discarded by an earlier dropped poll reply
             reply = {"type": "error", "error": f"unknown ticket {ticket!r}"}
-        elif reply.get("type") != "pending":
-            self._tickets.pop(ticket, None)
         await self._send(writer, lock, dict(reply, ticket=ticket))
+
+    async def _msg_ack(self, message, writer, lock) -> None:
+        ticket = message.get("ticket")
+        if self._tickets.pop(ticket, None) is not None:
+            self.counters["acks"] += 1
+        self._ticket_done.pop(ticket, None)
+        if self.journal is not None:
+            self.journal.acknowledge(ticket)
+        await self._send(writer, lock, {"type": "acked", "ticket": ticket})
+
+    async def _msg_ping(self, message, writer, lock) -> None:
+        await self._send(writer, lock, {"type": "pong"})
+
+    async def _msg_drain(self, message, writer, lock) -> None:
+        await self._drain_async(timeout=float(message.get("timeout", 30.0)))
+        await self._send(writer, lock, {
+            "type": "drained",
+            "stats": self.stats(),
+        })
 
     async def _msg_stats(self, message, writer, lock) -> None:
         await self._send(writer, lock, {"type": "stats", "stats": self.stats()})
@@ -940,6 +1355,8 @@ class Coordinator:
             **self.counters,
             "queue_depth": len(self._queue),
             "jobs_pending": len(self._jobs),
+            "tickets": len(self._tickets),
+            "draining": self._draining,
             "workers": {
                 handle.name: {
                     "slots": handle.slots,
@@ -950,7 +1367,15 @@ class Coordinator:
                 for handle in self._workers.values()
             },
             "max_inflight_per_worker": self.max_inflight_per_worker,
+            "heartbeat": {
+                "interval": self.heartbeat_interval,
+                "misses": self.heartbeat_misses,
+            },
+            "faults": self.faults.summary(),
             "admission": self.admission.stats(),
+            "journal": (
+                self.journal.stats() if self.journal is not None else None
+            ),
             "cache": self.cache.stats() if self.cache is not None else None,
         }
 
@@ -975,6 +1400,39 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="back the shared cache tier with a SQLite file",
     )
+    parser.add_argument(
+        "--journal-db",
+        default=None,
+        metavar="PATH",
+        help=(
+            "durable coordinator journal (SQLite WAL): accepted tickets, "
+            "idempotency keys and quota levels survive a restart"
+        ),
+    )
+    parser.add_argument(
+        "--ticket-ttl",
+        type=float,
+        default=600.0,
+        help="seconds completed tickets await acknowledgement before GC",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=5.0,
+        help="worker liveness ping period in seconds (0 disables)",
+    )
+    parser.add_argument(
+        "--heartbeat-misses",
+        type=int,
+        default=3,
+        help="silent intervals before a worker is declared dead",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="SIGTERM grace: seconds to finish in-flight work before exit",
+    )
     args = parser.parse_args(argv)
 
     cache = True
@@ -990,11 +1448,29 @@ def main(argv=None) -> int:
         quota_capacity=args.quota_capacity,
         max_inflight_per_worker=args.max_inflight_per_worker,
         cache=cache,
+        journal=args.journal_db,
+        ticket_ttl=args.ticket_ttl,
+        heartbeat_interval=args.heartbeat_interval or None,
+        heartbeat_misses=args.heartbeat_misses,
     )
 
     async def serve():
         address = await coordinator.start()
         print(f"coordinator listening on {address}", flush=True)
+
+        def on_sigterm():
+            async def graceful():
+                await coordinator._drain_async(timeout=args.drain_timeout)
+                coordinator._stopping.set()
+
+            coordinator._spawn(graceful())
+
+        try:
+            asyncio.get_running_loop().add_signal_handler(
+                signal.SIGTERM, on_sigterm
+            )
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-POSIX loop: SIGTERM stays a hard kill
         await coordinator.serve_forever()
 
     try:

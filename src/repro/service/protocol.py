@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import pickle
+import random
 import socket
 import struct
 import threading
@@ -50,6 +51,7 @@ __all__ = [
     "decode_payload",
     "read_message",
     "write_message",
+    "backoff_delay",
     "MAX_FRAME_BYTES",
 ]
 
@@ -184,6 +186,17 @@ class TcpTransport:
                 raise ConnectionError("peer closed the connection mid-frame")
         return decode_payload(tag, payload)
 
+    def set_deadline(self, seconds: float | None) -> None:
+        """Bound every blocking socket operation (``None`` = forever).
+
+        With a deadline set, a silently dead peer (half-open socket,
+        frozen process, network partition) surfaces as ``socket.timeout``
+        — an ``OSError`` the reconnect loops already handle — instead of
+        a hang.  The worker derives its deadline from the coordinator's
+        advertised heartbeat interval.
+        """
+        self._sock.settimeout(seconds)
+
     def close(self) -> None:
         try:
             self._sock.shutdown(socket.SHUT_RDWR)
@@ -197,6 +210,24 @@ class TcpTransport:
             return f"TcpTransport(peer={peer[0]}:{peer[1]})"
         except OSError:
             return "TcpTransport(closed)"
+
+
+def backoff_delay(
+    attempt: int,
+    base: float = 0.5,
+    cap: float = 5.0,
+    rng: random.Random | None = None,
+) -> float:
+    """Jittered exponential backoff for reconnect loops.
+
+    Attempt 1, 2, 3, ... maps to ``min(cap, base * 2**(attempt-1))``
+    scaled by a uniform jitter in [0.5, 1.0) — the jitter is what keeps
+    a fleet of workers orphaned by one coordinator death from stampeding
+    its successor in lockstep.
+    """
+    delay = min(float(cap), float(base) * (2.0 ** max(0, attempt - 1)))
+    draw = rng.random() if rng is not None else random.random()
+    return delay * (0.5 + 0.5 * draw)
 
 
 def connect(address, timeout: float | None = 10.0) -> TcpTransport:

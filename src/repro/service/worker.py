@@ -17,6 +17,12 @@ result.  Everything else — crash accounting, quarantine, timeouts,
 degrade fallbacks — is the coordinator's job, because only it can see a
 worker die.
 
+A worker outlives its coordinator: on connection loss it rejoins with
+jittered exponential backoff (see :func:`run_worker`), answering the
+coordinator's heartbeat pings and bounding its blocking reads by the
+advertised heartbeat so a silently dead coordinator surfaces as a
+reconnect, not a hang.  Only an explicit ``stop`` ends the worker.
+
 Jobs run with ``in_process=True``: a chaos-schedule "crash" action is a
 real ``os._exit`` that kills this whole process mid-batch, which is
 exactly the failure the coordinator's crash accounting is tested
@@ -29,14 +35,15 @@ from __future__ import annotations
 
 import argparse
 import os
+import random
 import sys
 import threading
 import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.errors import FaultEvent
-from repro.service.protocol import Transport, connect
+from repro.errors import ConnectionLostError, FaultEvent
+from repro.service.protocol import Transport, backoff_delay, connect
 
 __all__ = ["run_worker", "main"]
 
@@ -79,33 +86,29 @@ def _execute_with_retries(job, policy: dict):
                 time.sleep(min(backoff_cap, backoff * (2.0 ** (failures - 1))))
 
 
-def run_worker(
-    address,
-    slots: int = 2,
-    name: str | None = None,
-    transport: Transport | None = None,
-) -> None:
-    """Join the coordinator at ``address`` and serve jobs until told to stop.
-
-    Blocks for the life of the connection; returns when the coordinator
-    sends ``stop`` or closes the connection.  ``slots`` is the number of
-    jobs this worker executes concurrently (a thread pool — the engine's
-    backends release the GIL in their numpy kernels; CPU-bound fleets
-    simply run more single-slot workers).
-    """
-    if transport is None:
-        transport = connect(address)
-    name = name or f"worker-{os.getpid()}"
-    slots = max(1, int(slots))
+def _serve_session(transport: Transport, name: str, slots: int) -> str:
+    """One connected session: handshake, then serve jobs until the
+    connection ends.  Returns ``"stop"`` (coordinator said stop — do not
+    reconnect) or ``"lost"`` (connection died — reconnect may retry)."""
     transport.send(
         {"type": "hello", "role": "worker", "name": name, "slots": slots, "pid": os.getpid()}
     )
     welcome = transport.recv()
     if not welcome or welcome.get("type") != "welcome":
         raise ConnectionError(f"coordinator refused worker handshake: {welcome!r}")
+    heartbeat = welcome.get("heartbeat")
+    if heartbeat:
+        # a coordinator that heartbeats promises regular traffic: bound
+        # our blocking reads so a silently dead coordinator (partition,
+        # frozen process) surfaces as a timeout -> reconnect, not a hang
+        misses = int(welcome.get("heartbeat_misses", 3) or 3)
+        set_deadline = getattr(transport, "set_deadline", None)
+        if set_deadline is not None:
+            set_deadline(max(10.0, float(heartbeat) * misses * 4.0))
 
     pool = ThreadPoolExecutor(max_workers=slots, thread_name_prefix=name)
     stop = threading.Event()
+    outcome = "lost"
 
     def handle(jid, job, policy):
         job.in_process = True  # a chaos crash here is a real os._exit
@@ -151,6 +154,7 @@ def run_worker(
                 break
             kind = message.get("type")
             if kind == "stop":
+                outcome = "stop"
                 break
             if kind == "ping":
                 transport.send({"type": "pong", "worker": name})
@@ -170,7 +174,77 @@ def run_worker(
     finally:
         stop.set()
         pool.shutdown(wait=False, cancel_futures=True)
+        # bounded join so in-flight job threads (and any process-pool
+        # children a backend spawned) are not orphaned past this session
+        deadline = time.monotonic() + 5.0
+        for thread in list(getattr(pool, "_threads", ())):
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
         transport.close()
+    return outcome
+
+
+def run_worker(
+    address,
+    slots: int = 2,
+    name: str | None = None,
+    transport: Transport | None = None,
+    *,
+    reconnect: bool = True,
+    reconnect_attempts: int = 10,
+    reconnect_backoff: float = 0.5,
+    reconnect_backoff_cap: float = 5.0,
+) -> None:
+    """Join the coordinator at ``address`` and serve jobs until told to stop.
+
+    Blocks for the life of the fleet membership; returns when the
+    coordinator sends ``stop``.  ``slots`` is the number of jobs this
+    worker executes concurrently (a thread pool — the engine's backends
+    release the GIL in their numpy kernels; CPU-bound fleets simply run
+    more single-slot workers).
+
+    When the connection dies any other way — coordinator restart,
+    network fault — the worker reconnects with jittered exponential
+    backoff (``reconnect_backoff`` doubling up to
+    ``reconnect_backoff_cap``, at most ``reconnect_attempts``
+    consecutive failed connection attempts before giving up with
+    :class:`~repro.errors.ConnectionLostError`).  Passing an explicit
+    ``transport`` serves exactly one session on it, no reconnection.
+    """
+    name = name or f"worker-{os.getpid()}"
+    slots = max(1, int(slots))
+    if transport is not None:
+        _serve_session(transport, name, slots)
+        return
+    rng = random.Random()
+    attempt = 0
+    while True:
+        try:
+            session = connect(address)
+        except (ConnectionError, OSError) as exc:
+            attempt += 1
+            if not reconnect or attempt > reconnect_attempts:
+                raise ConnectionLostError(
+                    f"could not reach coordinator at {address} after "
+                    f"{attempt} attempts: {exc!r}"
+                ) from exc
+            time.sleep(
+                backoff_delay(
+                    attempt, reconnect_backoff, reconnect_backoff_cap, rng
+                )
+            )
+            continue
+        attempt = 0
+        outcome = "lost"
+        try:
+            outcome = _serve_session(session, name, slots)
+        except (ConnectionError, OSError):
+            pass  # handshake raced a dying coordinator: retry below
+        if outcome == "stop" or not reconnect:
+            return
+        attempt = 1
+        time.sleep(
+            backoff_delay(attempt, reconnect_backoff, reconnect_backoff_cap, rng)
+        )
 
 
 def main(argv=None) -> int:
@@ -190,8 +264,39 @@ def main(argv=None) -> int:
         help="concurrent jobs this worker executes (default: 2)",
     )
     parser.add_argument("--name", default=None, help="worker name in stats")
+    parser.add_argument(
+        "--no-reconnect",
+        action="store_true",
+        help="exit on connection loss instead of backing off and rejoining",
+    )
+    parser.add_argument(
+        "--reconnect-attempts",
+        type=int,
+        default=10,
+        help="consecutive failed connection attempts before giving up",
+    )
+    parser.add_argument(
+        "--reconnect-backoff",
+        type=float,
+        default=0.5,
+        help="initial reconnect backoff in seconds (doubles, jittered)",
+    )
+    parser.add_argument(
+        "--reconnect-backoff-cap",
+        type=float,
+        default=5.0,
+        help="upper bound on the reconnect backoff in seconds",
+    )
     args = parser.parse_args(argv)
-    run_worker(args.connect, slots=args.slots, name=args.name)
+    run_worker(
+        args.connect,
+        slots=args.slots,
+        name=args.name,
+        reconnect=not args.no_reconnect,
+        reconnect_attempts=args.reconnect_attempts,
+        reconnect_backoff=args.reconnect_backoff,
+        reconnect_backoff_cap=args.reconnect_backoff_cap,
+    )
     return 0
 
 

@@ -1,15 +1,18 @@
 """Testing utilities that ship with the library.
 
 :mod:`repro.testing.chaos` — the deterministic fault-injection harness
-(seeded exception / delay / worker-crash schedules, and the
-:class:`~repro.testing.chaos.ChaosBackend` persistent-failure wrapper)
-that the chaos test suite and future distributed-service soak tests
-drive against the fault-tolerant execution engine.
+(seeded exception / delay / worker-crash schedules, the
+:class:`~repro.testing.chaos.ChaosBackend` persistent-failure wrapper,
+and the :class:`~repro.testing.chaos.ChaosTransport` network-fault
+wrapper) that the chaos test suite and the distributed-service
+resilience/soak tests drive against the fault-tolerant execution engine.
 """
 
 from repro.testing.chaos import (
     ChaosBackend,
     ChaosSchedule,
+    ChaosTransport,
+    ChaosTransportFactory,
     InjectedFault,
     SimulatedWorkerCrash,
 )
@@ -17,6 +20,8 @@ from repro.testing.chaos import (
 __all__ = [
     "ChaosBackend",
     "ChaosSchedule",
+    "ChaosTransport",
+    "ChaosTransportFactory",
     "InjectedFault",
     "SimulatedWorkerCrash",
 ]

@@ -28,14 +28,24 @@ Two injection points:
   ``failure_policy="degrade"`` fallback path (e.g. a dying ``mps``
   backend falling back to ``statevector``).
 
+* **Transport-level** (network faults): :class:`ChaosTransport` wraps a
+  service :class:`~repro.service.protocol.Transport` and injects drops,
+  delays, partitions and truncated frames from the same seeded schedule,
+  keyed by a deterministic per-operation sequence shared across
+  reconnects by its :class:`ChaosTransportFactory`.  This is what drives
+  the service-resilience paths — client/worker reconnect, idempotent
+  resends, peer-level frame-error isolation — under reproducible faults.
+
 Everything here is picklable, so schedules travel into process-pool
-workers unchanged.
+workers unchanged (the transport wrapper, which holds a live socket, is
+the one deliberate exception).
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import threading
 import time
 from dataclasses import dataclass
 
@@ -225,3 +235,146 @@ class ChaosBackend(Backend):
 
     def __repr__(self) -> str:
         return f"<ChaosBackend around {self.inner!r}>"
+
+
+class ChaosTransportFactory:
+    """Deterministic network-fault injection for the execution service.
+
+    The factory owns the state that must span *connections*: one
+    monotone operation counter (every ``send``/``recv`` on any transport
+    it built draws the next sequence number), a fault budget, and an
+    optional clean prefix.  Because a service exchange is a
+    deterministic sequence of operations, hashing ``label|direction|seq``
+    through the :class:`ChaosSchedule` faults the same operations on
+    every run — a seeded chaos test is exactly reproducible.
+
+    * ``skip`` — the first ``skip`` operations run clean, which places a
+      fault precisely ("drop the reply to the submit, not the
+      handshake").
+    * ``max_faults`` — once this many faults have fired, every later
+      operation passes through, so retrying peers always converge
+      (``None`` = unbounded).
+
+    Use :meth:`wrap` around an existing transport, or call the factory
+    with no arguments (``connect_factory`` supplies the inner transport)
+    — the call form is what ``ServiceClient(transport_factory=...)``
+    expects, and keeps injecting across the client's reconnects.
+    """
+
+    def __init__(
+        self,
+        schedule: ChaosSchedule,
+        connect_factory=None,
+        label: str = "chaos",
+        max_faults: int | None = None,
+        skip: int = 0,
+    ):
+        self.schedule = schedule
+        self.connect_factory = connect_factory
+        self.label = str(label)
+        self.max_faults = max_faults
+        self.skip = max(0, int(skip))
+        self.faults_injected = 0
+        self.operations = 0
+        self._lock = threading.Lock()
+
+    def decide(self, direction: str) -> tuple | None:
+        """The fault (if any) for the next operation in ``direction``."""
+        with self._lock:
+            seq = self.operations
+            self.operations += 1
+            if seq < self.skip:
+                return None
+            if (
+                self.max_faults is not None
+                and self.faults_injected >= self.max_faults
+            ):
+                return None
+            action = self.schedule.action_for(
+                f"{self.label}|{direction}|{seq}", 0
+            )
+            if action is not None:
+                self.faults_injected += 1
+            return action
+
+    def wrap(self, inner) -> "ChaosTransport":
+        return ChaosTransport(inner, self)
+
+    def __call__(self) -> "ChaosTransport":
+        if self.connect_factory is None:
+            raise ValueError(
+                "ChaosTransportFactory needs connect_factory to build "
+                "transports itself"
+            )
+        return self.wrap(self.connect_factory())
+
+
+class ChaosTransport:
+    """A :class:`~repro.service.protocol.Transport` wrapper injecting
+    seeded network faults (build via :class:`ChaosTransportFactory`).
+
+    The schedule's bands map onto network failure modes:
+
+    * ``crash`` — partition/drop: the connection closes *before* the
+      operation; a scheduled ``send`` never reaches the peer and a
+      scheduled ``recv`` loses the in-flight reply (the dropped-reply
+      idempotency scenario).
+    * ``exception`` — a truncated frame: half the encoded frame hits the
+      wire, then a hard close, so the peer observes a mid-frame
+      disconnect (the coordinator's peer-error isolation path).
+    * ``delay`` — the operation completes after ``delay_seconds``.
+    """
+
+    def __init__(self, inner, control: ChaosTransportFactory):
+        self._inner = inner
+        self._control = control
+
+    def send(self, message: dict) -> None:
+        action = self._control.decide("send")
+        if action is None:
+            return self._inner.send(message)
+        kind = action[0]
+        if kind == "delay":
+            time.sleep(action[1])
+            return self._inner.send(message)
+        if kind == "raise":
+            # truncated frame: leak half the bytes, then die mid-frame
+            from repro.service.protocol import encode_frame
+
+            frame = encode_frame(message)
+            sock = getattr(self._inner, "_sock", None)
+            if sock is not None:
+                try:
+                    sock.sendall(frame[: max(1, len(frame) // 2)])
+                except OSError:
+                    pass
+            self._inner.close()
+            raise ConnectionError("chaos: frame truncated mid-send")
+        self._inner.close()
+        raise ConnectionError("chaos: connection dropped before send")
+
+    def recv(self) -> dict | None:
+        action = self._control.decide("recv")
+        if action is None:
+            return self._inner.recv()
+        if action[0] == "delay":
+            time.sleep(action[1])
+            return self._inner.recv()
+        # raise & crash both mean the same thing on the read side: the
+        # in-flight reply is lost and the connection is gone
+        self._inner.close()
+        raise ConnectionError("chaos: connection dropped before receive")
+
+    def set_deadline(self, seconds: float | None) -> None:
+        set_deadline = getattr(self._inner, "set_deadline", None)
+        if set_deadline is not None:
+            set_deadline(seconds)
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ChaosTransport around {self._inner!r} "
+            f"({self._control.faults_injected} faults injected)>"
+        )
